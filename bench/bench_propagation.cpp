@@ -1,0 +1,120 @@
+// Micro-benchmarks for the constraint substrate (google-benchmark).
+//
+// Not a paper figure: these quantify the cost of the primitives behind
+// ADPM's "computational penalty" — one HC4 revise, one full propagation
+// fixpoint, the single-pass ablation, and a what-if (relaxed) propagation —
+// on both evaluation networks.  DESIGN.md lists the fixpoint-vs-single-pass
+// choice as an ablation; the speed side of that trade-off lives here.
+#include <benchmark/benchmark.h>
+
+#include "constraint/miner.hpp"
+#include "constraint/propagate.hpp"
+#include "dpm/scenario.hpp"
+#include "scenarios/receiver.hpp"
+#include "scenarios/sensing.hpp"
+#include "teamsim/engine.hpp"
+
+using namespace adpm;
+
+namespace {
+
+std::unique_ptr<dpm::DesignProcessManager> makeManager(bool receiver) {
+  auto mgr = std::make_unique<dpm::DesignProcessManager>(
+      dpm::DesignProcessManager::Options{.adpm = true});
+  dpm::instantiate(receiver ? scenarios::receiverScenario()
+                            : scenarios::sensingSystemScenario(),
+                   *mgr);
+  return mgr;
+}
+
+void BM_Hc4Revise(benchmark::State& state) {
+  auto mgr = makeManager(state.range(0) != 0);
+  auto& net = mgr->network();
+  auto box = net.currentBox();
+  std::size_t i = 0;
+  const auto ids = net.constraintIds();
+  for (auto _ : state) {
+    auto& c = net.constraint(ids[i % ids.size()]);
+    auto working = box;
+    benchmark::DoNotOptimize(
+        c.compiled().revise(c.target(), {working.data(), working.size()}));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Hc4Revise)->Arg(0)->Arg(1)->ArgNames({"receiver"});
+
+void BM_PropagationFixpoint(benchmark::State& state) {
+  auto mgr = makeManager(state.range(0) != 0);
+  constraint::Propagator prop;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prop.run(mgr->network()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PropagationFixpoint)->Arg(0)->Arg(1)->ArgNames({"receiver"});
+
+void BM_PropagationSinglePass(benchmark::State& state) {
+  auto mgr = makeManager(state.range(0) != 0);
+  constraint::Propagator prop{
+      constraint::Propagator::Options{.fixpoint = false}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prop.run(mgr->network()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PropagationSinglePass)->Arg(0)->Arg(1)->ArgNames({"receiver"});
+
+void BM_WhatIfRelaxed(benchmark::State& state) {
+  auto mgr = makeManager(state.range(0) != 0);
+  auto& net = mgr->network();
+  // Bind a representative free variable so the relaxed run has work to do.
+  const auto pid = net.propertyIds().at(7);
+  net.bind(pid, net.property(pid).initial.hull().mid());
+  constraint::Propagator prop;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prop.runRelaxed(net, pid));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WhatIfRelaxed)->Arg(0)->Arg(1)->ArgNames({"receiver"});
+
+void BM_MinerFullPass(benchmark::State& state) {
+  auto mgr = makeManager(state.range(0) != 0);
+  constraint::Propagator prop;
+  constraint::HeuristicMiner miner;
+  for (auto _ : state) {
+    const auto r = prop.run(mgr->network());
+    benchmark::DoNotOptimize(miner.mine(mgr->network(), r));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MinerFullPass)->Arg(0)->Arg(1)->ArgNames({"receiver"});
+
+void BM_FullSimulation(benchmark::State& state) {
+  const bool receiver = state.range(0) != 0;
+  const bool adpm = state.range(1) != 0;
+  const dpm::ScenarioSpec spec = receiver
+                                     ? scenarios::receiverScenario()
+                                     : scenarios::sensingSystemScenario();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    teamsim::SimulationOptions options;
+    options.adpm = adpm;
+    options.seed = seed++;
+    teamsim::SimulationEngine engine(spec, options);
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FullSimulation)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->ArgNames({"receiver", "adpm"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// DDDL command-line tool: dump the built-in scenarios as DDDL text, or
+// parse and validate a DDDL file.
+//
+//   $ ./dddl_tool dump sensing > sensing.dddl     # export a built-in case
+//   $ ./dddl_tool dump receiver
+//   $ ./dddl_tool dump walkthrough
+//   $ ./dddl_tool check sensing.dddl              # parse + validate a file
+//   $ ./dddl_tool roundtrip receiver              # write -> parse -> verify
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dddl/parser.hpp"
+#include "dddl/writer.hpp"
+#include "scenarios/accelerometer.hpp"
+#include "scenarios/receiver.hpp"
+#include "scenarios/sensing.hpp"
+#include "scenarios/walkthrough.hpp"
+#include "util/error.hpp"
+
+using namespace adpm;
+
+namespace {
+
+dpm::ScenarioSpec builtin(const std::string& name) {
+  if (name == "sensing") return scenarios::sensingSystemScenario();
+  if (name == "receiver") return scenarios::receiverScenario();
+  if (name == "receiver4") return scenarios::receiverLargeTeamScenario();
+  if (name == "accelerometer") return scenarios::accelerometerScenario();
+  if (name == "walkthrough") return scenarios::walkthroughScenario();
+  throw adpm::InvalidArgumentError(
+      "unknown scenario '" + name +
+      "' (expected sensing, receiver, receiver4, accelerometer or "
+      "walkthrough)");
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  dddl_tool dump <sensing|receiver|receiver4|accelerometer|walkthrough>\n"
+               "  dddl_tool check <file.dddl>\n"
+               "  dddl_tool roundtrip <scenario>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const std::string arg = argv[2];
+
+  try {
+    if (command == "dump") {
+      std::printf("%s", dddl::write(builtin(arg)).c_str());
+      return 0;
+    }
+    if (command == "check") {
+      std::ifstream in(arg);
+      if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", arg.c_str());
+        return 1;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      const dpm::ScenarioSpec spec = dddl::parse(text.str());
+      std::printf("OK: scenario '%s' — %zu objects, %zu properties, "
+                  "%zu constraints, %zu problems, %zu requirements\n",
+                  spec.name.c_str(), spec.objects.size(),
+                  spec.properties.size(), spec.constraints.size(),
+                  spec.problems.size(), spec.requirements.size());
+      return 0;
+    }
+    if (command == "roundtrip") {
+      const dpm::ScenarioSpec original = builtin(arg);
+      const std::string text = dddl::write(original);
+      const dpm::ScenarioSpec reparsed = dddl::parse(text);
+      const bool same = reparsed.properties.size() == original.properties.size() &&
+                        reparsed.constraints.size() == original.constraints.size() &&
+                        reparsed.problems.size() == original.problems.size();
+      std::printf("%s: %zu chars of DDDL, %s\n", arg.c_str(), text.size(),
+                  same ? "round-trip OK" : "ROUND-TRIP MISMATCH");
+      return same ? 0 : 1;
+    }
+  } catch (const adpm::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

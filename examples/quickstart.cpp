@@ -1,0 +1,82 @@
+// Quickstart: the ADPM library in ~80 lines.
+//
+// Builds a miniature two-team design problem (the paper's receiver power /
+// gain budget from Section 2.1), runs one TeamSim simulation under each
+// flow, and prints the comparison.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "dpm/scenario.hpp"
+#include "teamsim/engine.hpp"
+#include "teamsim/statwindow.hpp"
+
+using namespace adpm;
+
+dpm::ScenarioSpec makeScenario() {
+  dpm::ScenarioSpec s;
+  s.name = "quickstart";
+
+  // Design objects: the system plus two concurrently-designed subsystems.
+  s.addObject("system");
+  s.addObject("frontend", "system");
+  s.addObject("deserializer", "system");
+
+  // Properties (design variables and requirements).  a_i with range E_i.
+  const auto pm = s.addProperty("P_M", "system",
+                                interval::Domain::continuous(50, 300), "mW");
+  const auto gmin = s.addProperty("G_min", "system",
+                                  interval::Domain::continuous(10, 100));
+  const auto pf = s.addProperty("P_f", "frontend",
+                                interval::Domain::continuous(0, 200), "mW");
+  const auto gf = s.addProperty("G_f", "frontend",
+                                interval::Domain::continuous(1, 20));
+  const auto ps = s.addProperty("P_s", "deserializer",
+                                interval::Domain::continuous(0, 200), "mW");
+  const auto gs = s.addProperty("G_s", "deserializer",
+                                interval::Domain::continuous(1, 20));
+
+  // Constraints.  The paper's example c1: P_f + P_s <= P_M, plus a gain
+  // budget and simple power models tying gain to power in each subsystem.
+  s.addConstraint({"power-budget", s.pvar(pf) + s.pvar(ps),
+                   constraint::Relation::Le, s.pvar(pm), {}});
+  s.addConstraint({"gain-budget", s.pvar(gf) * s.pvar(gs),
+                   constraint::Relation::Ge, s.pvar(gmin), {}});
+  s.addConstraint({"fe-power-model", s.pvar(pf), constraint::Relation::Eq,
+                   10.0 * s.pvar(gf), {}});
+  s.addConstraint({"ser-power-model", s.pvar(ps), constraint::Relation::Eq,
+                   5.0 * s.pvar(gs), {}});
+
+  // Problems (I_i, O_i, T_i) and their owners.
+  const auto top = s.addProblem({"Top", "system", "team-leader",
+                                 {}, {pm, gmin}, {0, 1},
+                                 std::nullopt, {}, true});
+  s.addProblem({"Frontend", "frontend", "alice", {pm}, {pf, gf}, {2},
+                top, {}, true});
+  s.addProblem({"Deserializer", "deserializer", "bob", {pm}, {ps, gs}, {3},
+                top, {}, true});
+
+  // Initial top-level requirements.
+  s.require(pm, 150.0);
+  s.require(gmin, 30.0);
+  return s;
+}
+
+int main() {
+  const dpm::ScenarioSpec scenario = makeScenario();
+
+  for (const bool adpm : {false, true}) {
+    teamsim::SimulationOptions options;
+    options.adpm = adpm;  // the paper's lambda flag
+    options.seed = 2001;
+
+    teamsim::SimulationEngine engine(scenario, options);
+    const teamsim::SimulationResult result = engine.run();
+
+    std::printf("\n%s\n", teamsim::renderStatisticsWindow(engine).c_str());
+    std::printf("completed=%s operations=%zu evaluations=%zu spins=%zu\n",
+                result.completed ? "yes" : "no", result.operations,
+                result.evaluations, result.spins);
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every figure of the reproduction.
+#
+#   scripts/run_all.sh [build-dir]
+#
+# Leaves test_output.txt and bench_output.txt in the repository root and the
+# fig7/fig10 CSV+gnuplot artifacts in the current directory.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake -B "$build" -G Ninja "$repo"
+cmake --build "$build"
+
+ctest --test-dir "$build" 2>&1 | tee "$repo/test_output.txt"
+
+{
+  for bench in "$build"/bench/*; do
+    [ -f "$bench" ] && [ -x "$bench" ] || continue
+    echo "==== $(basename "$bench") ===="
+    "$bench"
+    echo
+  done
+} 2>&1 | tee "$repo/bench_output.txt"
+
+echo "done: test_output.txt, bench_output.txt"

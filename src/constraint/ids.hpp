@@ -1,0 +1,38 @@
+// Strong id types for properties and constraints.
+//
+// Properties and constraints live in one ConstraintNetwork per design
+// process; ids are dense indices into its tables, wrapped so they cannot be
+// mixed up.  A property's id doubles as the expression-variable id (VarId)
+// used inside constraint expressions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace adpm::constraint {
+
+struct PropertyId {
+  std::uint32_t value = 0;
+  constexpr auto operator<=>(const PropertyId&) const = default;
+};
+
+struct ConstraintId {
+  std::uint32_t value = 0;
+  constexpr auto operator<=>(const ConstraintId&) const = default;
+};
+
+}  // namespace adpm::constraint
+
+template <>
+struct std::hash<adpm::constraint::PropertyId> {
+  std::size_t operator()(const adpm::constraint::PropertyId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<adpm::constraint::ConstraintId> {
+  std::size_t operator()(const adpm::constraint::ConstraintId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,116 @@
+#include "constraint/miner.hpp"
+
+#include "expr/derivative.hpp"
+
+namespace adpm::constraint {
+
+namespace {
+
+/// Which way the residual must move to reach the target: +1 up, -1 down,
+/// 0 already overlapping (not violated) or no verdict.
+int neededResidualShift(const interval::Interval& residual,
+                        const interval::Interval& target) noexcept {
+  if (residual.empty() || target.empty()) return 0;
+  if (residual.lo() > target.hi()) return -1;  // residual entirely above
+  if (residual.hi() < target.lo()) return +1;  // entirely below
+  return 0;
+}
+
+/// Sign of ∂residual/∂p over the box: +1, -1, or 0 when unproven.
+int residualSlopeSign(const Constraint& c, PropertyId p,
+                      const std::vector<interval::Interval>& box) {
+  switch (expr::monotonicity(c.residual(), box, p.value)) {
+    case expr::Direction::Increasing:
+      return +1;
+    case expr::Direction::Decreasing:
+      return -1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+int helpDirection(Network& net, Constraint& c, PropertyId p,
+                  const std::vector<interval::Interval>& box) {
+  (void)net;
+  // Decide which way the residual needs to move.  For a violated constraint
+  // the side is determined by where the residual enclosure sits relative to
+  // the target; for a non-violated one we use the relation's natural side
+  // (Le wants the residual lower, Ge higher).  This reuses the state the
+  // propagation pass just computed, so it is bookkeeping, not a tool run —
+  // no evaluation charge.
+  const interval::Interval residual = c.compiled().evaluate(box);
+  int shift = neededResidualShift(residual, c.target());
+  if (shift == 0) {
+    switch (c.relation()) {
+      case Relation::Le: shift = -1; break;
+      case Relation::Ge: shift = +1; break;
+      case Relation::Eq: return 0;  // no natural side
+    }
+  }
+
+  const int slope = residualSlopeSign(c, p, box);
+  if (slope != 0) return shift * slope;
+
+  // Derived monotonicity is inconclusive over this box; fall back to the
+  // DDDL-declared help direction if the scenario provided one.
+  return c.declaredHelpDirection(p);
+}
+
+GuidanceReport HeuristicMiner::mine(Network& net,
+                                    const PropagationResult& prop) const {
+  GuidanceReport report;
+  report.violated = prop.violated;
+  report.properties.resize(net.propertyCount());
+
+  const auto box = net.currentBox();
+  const Propagator propagator(options_.propagation);
+
+  for (std::uint32_t pi = 0; pi < net.propertyCount(); ++pi) {
+    const PropertyId pid{pi};
+    PropertyGuidance& g = report.properties[pi];
+    g.id = pid;
+
+    const Property& p = net.property(pid);
+    g.feasible = prop.feasible.at(pi);
+    g.relativeFeasibleSize = g.feasible.relativeMeasure(p.initial);
+    // A bound property's propagated subspace degenerates to its point value;
+    // without a what-if range its *rebinding* freedom is simply unknown, so
+    // report full size rather than zero (zero would make every later genuine
+    // reduction invisible to the NM's diff).
+    if (p.bound()) g.relativeFeasibleSize = 1.0;
+
+    g.beta = 0;
+    for (ConstraintId cid : net.constraintsOf(pid)) {
+      if (!net.isActive(cid)) continue;  // not generated yet
+      ++g.beta;
+      Constraint& c = net.constraint(cid);
+      const bool violated = prop.isViolated(cid);
+      if (violated) ++g.alpha;
+
+      const int dir = helpDirection(net, c, pid, box);
+      if (dir > 0) {
+        g.increasing.push_back(cid);
+        if (violated) ++g.repairVotesUp;
+      } else if (dir < 0) {
+        g.decreasing.push_back(cid);
+        if (violated) ++g.repairVotesDown;
+      }
+    }
+
+    // For a bound property caught in violations, the propagated feasible
+    // subspace degenerates to its own point; the designer needs the what-if
+    // range ("what could this be rebound to?").  That requires a relaxed
+    // re-propagation — more tool runs, charged to the network.
+    if (options_.whatIfForViolated && p.bound() && g.alpha > 0) {
+      const PropagationResult relaxed = propagator.runRelaxed(net, pid);
+      report.extraEvaluations += relaxed.evaluations;
+      g.feasible = relaxed.feasible.at(pi);
+      g.relativeFeasibleSize = g.feasible.relativeMeasure(p.initial);
+    }
+  }
+  return report;
+}
+
+}  // namespace adpm::constraint

@@ -1,0 +1,85 @@
+// Constraint propagation: the Design Constraint Manager's core algorithm.
+//
+// "The DCM runs a constraint propagation algorithm to compute infeasible
+// property values and the status of all constraints." (paper, Section 2.2)
+//
+// The algorithm is an AC-3-style fixpoint over HC4-revise: constraints are
+// revised against the current box (bound properties pinned to their values,
+// unbound ones spanning their range E_i); every revise that narrows a
+// property's interval requeues the constraints sharing that property.  Every
+// revise is charged to the network's evaluation counter — this is exactly
+// the "extra tool runs" cost the paper attributes to ADPM.
+#pragma once
+
+#include <vector>
+
+#include "constraint/network.hpp"
+#include "interval/domain.hpp"
+
+namespace adpm::constraint {
+
+/// Output of one propagation run.
+struct PropagationResult {
+  /// Narrowed hull per property (indexed by PropertyId::value).  For bound
+  /// properties this is their point value.
+  std::vector<interval::Interval> hulls;
+  /// Feasible subspace v_F(a_i) per property: the initial domain filtered to
+  /// the narrowed hull.
+  std::vector<interval::Domain> feasible;
+  /// Status per constraint (indexed by ConstraintId::value).
+  std::vector<Status> status;
+  /// Constraints found violated, ascending by id.
+  std::vector<ConstraintId> violated;
+  /// Revises performed by this run (also charged to the network counter).
+  std::size_t evaluations = 0;
+  /// Number of fixpoint sweeps that performed at least one revise.
+  std::size_t passes = 0;
+
+  bool anyViolation() const noexcept { return !violated.empty(); }
+  bool isViolated(ConstraintId c) const {
+    return status.at(c.value) == Status::Violated;
+  }
+};
+
+class Propagator {
+ public:
+  struct Options {
+    /// Iterate to fixpoint (AC-3) when true; single sweep when false.  The
+    /// single-sweep mode exists for the ablation benchmarks.
+    bool fixpoint = true;
+    /// Hard cap: at most maxRevisesPerConstraint * |C| revises per run, to
+    /// bound slowly-converging nonlinear networks.
+    std::size_t maxRevisesPerConstraint = 40;
+    /// A bound movement below tol*(1+|bound|) does not requeue neighbours.
+    double tolerance = 1e-9;
+    /// After the interval fixpoint, shave discrete domains value-by-value:
+    /// each remaining value of an unbound discrete property is tested
+    /// against every active constraint touching it (one evaluation each),
+    /// and unsupported values are dropped from the feasible set.  Hull
+    /// consistency alone cannot remove interior values of a discrete set.
+    bool filterDiscrete = true;
+  };
+
+  Propagator() = default;
+  explicit Propagator(Options options) : options_(options) {}
+
+  const Options& options() const noexcept { return options_; }
+
+  /// Runs propagation over the network's current box.  Does not modify any
+  /// property binding; evaluation cost is charged to the network.
+  PropagationResult run(Network& net) const;
+
+  /// "What-if" feasible subspace: the values property `p` could be rebound
+  /// to, given everything else in the current state.  Computed by relaxing p
+  /// to its initial range and re-propagating.  The evaluations consumed are
+  /// charged to the network and reported in the result.
+  PropagationResult runRelaxed(Network& net, PropertyId p) const;
+
+ private:
+  PropagationResult runOnBox(Network& net,
+                             std::vector<interval::Interval> box) const;
+
+  Options options_;
+};
+
+}  // namespace adpm::constraint

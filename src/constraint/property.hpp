@@ -1,0 +1,52 @@
+// Design properties.
+//
+// "A design property a_i is a variable that can take one or more values from
+// a range E_i.  A property to which a single value has been assigned is said
+// to be bound; otherwise it is unbound with an implicit value of a_i ≡ E_i."
+// (paper, Section 2.1)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "constraint/ids.hpp"
+#include "interval/domain.hpp"
+
+namespace adpm::constraint {
+
+/// One design variable: identity, its initial range E_i, and its binding.
+struct Property {
+  PropertyId id;
+  std::string name;
+  /// Owning design object (subsystem); used for spin detection — a violation
+  /// whose arguments span objects owned by different designers is a
+  /// cross-subsystem conflict.
+  std::string object;
+  /// Abstraction levels the property belongs to (display metadata shown in
+  /// Minerva III's object browser, e.g. "Transistor, Geometry").
+  std::vector<std::string> abstractionLevels;
+  /// Measurement unit, display-only ("um", "mW", "dB", ...).
+  std::string unit;
+
+  /// The initial range E_i.
+  interval::Domain initial;
+  /// Designer economy preference: -1 = smaller values preferred (e.g. power,
+  /// area), +1 = larger preferred (e.g. yield margin), 0 = none.  The
+  /// walkthrough's designer sizes the pair at "the smallest potentially
+  /// feasible value ... [to] reduce power consumption" — this is that bias.
+  int preference = 0;
+  /// Bound value, if any.
+  std::optional<double> value;
+
+  bool bound() const noexcept { return value.has_value(); }
+
+  /// The property's current extent: the point [v, v] when bound, else E_i's
+  /// hull.  This is the box constraint evaluation runs over.
+  interval::Interval currentHull() const noexcept {
+    if (value) return interval::Interval(*value);
+    return initial.hull();
+  }
+};
+
+}  // namespace adpm::constraint

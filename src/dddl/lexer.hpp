@@ -1,0 +1,16 @@
+// DDDL lexer.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "dddl/token.hpp"
+
+namespace adpm::dddl {
+
+/// Tokenises DDDL source.  Comments run from "//" to end of line.  Throws
+/// adpm::ParseError on malformed input (unterminated string, bad number,
+/// stray character).
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace adpm::dddl

@@ -1,0 +1,441 @@
+#include "dddl/parser.hpp"
+
+#include <cmath>
+
+#include "dddl/lexer.hpp"
+#include "util/error.hpp"
+
+namespace adpm::dddl {
+
+namespace {
+
+using dpm::ScenarioSpec;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(lex(source)) {}
+
+  ScenarioSpec run() {
+    expectKeyword("scenario");
+    spec_.name = parseName("scenario name");
+    expect(TokenKind::LBrace);
+    while (!at(TokenKind::RBrace)) {
+      const Token& t = peek();
+      if (t.kind != TokenKind::Identifier) {
+        fail("expected a declaration (object/property/constraint/problem/"
+             "require)");
+      }
+      if (t.text == "object") {
+        parseObject();
+      } else if (t.text == "property") {
+        parseProperty();
+      } else if (t.text == "constraint") {
+        parseConstraint();
+      } else if (t.text == "problem") {
+        parseProblem();
+      } else if (t.text == "require") {
+        parseRequire();
+      } else {
+        fail("unknown declaration '" + t.text + "'");
+      }
+    }
+    expect(TokenKind::RBrace);
+    expect(TokenKind::End);
+    return std::move(spec_);
+  }
+
+ private:
+  // -- token helpers ----------------------------------------------------------
+
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  bool at(TokenKind kind) const { return peek().kind == kind; }
+  bool atKeyword(std::string_view kw) const {
+    return at(TokenKind::Identifier) && peek().text == kw;
+  }
+  const Token& advance() { return tokens_[pos_ == tokens_.size() - 1 ? pos_ : pos_++]; }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw adpm::ParseError(message, peek().line, peek().column);
+  }
+
+  const Token& expect(TokenKind kind) {
+    if (!at(kind)) {
+      fail(std::string("expected ") + tokenKindName(kind) + ", found " +
+           tokenKindName(peek().kind));
+    }
+    return advance();
+  }
+
+  void expectKeyword(std::string_view kw) {
+    if (!atKeyword(kw)) {
+      fail("expected '" + std::string(kw) + "'");
+    }
+    advance();
+  }
+
+  bool consumeKeyword(std::string_view kw) {
+    if (!atKeyword(kw)) return false;
+    advance();
+    return true;
+  }
+
+  /// name ::= identifier | string
+  std::string parseName(const char* what) {
+    if (at(TokenKind::Identifier) || at(TokenKind::String)) {
+      return advance().text;
+    }
+    fail(std::string("expected ") + what);
+  }
+
+  double parseNumber() {
+    bool negative = false;
+    if (at(TokenKind::Minus)) {
+      advance();
+      negative = true;
+    }
+    const Token& t = expect(TokenKind::Number);
+    return negative ? -t.number : t.number;
+  }
+
+  // -- declarations -----------------------------------------------------------
+
+  void parseObject() {
+    expectKeyword("object");
+    const std::string name = parseName("object name");
+    std::string parent;
+    if (consumeKeyword("parent")) parent = parseName("parent object name");
+    expect(TokenKind::Semicolon);
+    spec_.addObject(name, parent);
+  }
+
+  void parseProperty() {
+    expectKeyword("property");
+    const std::string name = parseName("property name");
+    expect(TokenKind::Colon);
+    const std::string object = parseName("object name");
+
+    interval::Domain initial;
+    if (consumeKeyword("range")) {
+      expect(TokenKind::LBracket);
+      const double lo = parseNumber();
+      expect(TokenKind::Comma);
+      const double hi = parseNumber();
+      expect(TokenKind::RBracket);
+      if (!(lo <= hi)) fail("property range requires lo <= hi");
+      initial = interval::Domain::continuous(lo, hi);
+    } else if (consumeKeyword("set")) {
+      expect(TokenKind::LBrace);
+      std::vector<double> values;
+      values.push_back(parseNumber());
+      while (at(TokenKind::Comma)) {
+        advance();
+        values.push_back(parseNumber());
+      }
+      expect(TokenKind::RBrace);
+      initial = interval::Domain::discrete(std::move(values));
+    } else {
+      fail("expected 'range [lo, hi]' or 'set { v, ... }'");
+    }
+
+    std::string unit;
+    if (consumeKeyword("unit")) unit = expect(TokenKind::String).text;
+
+    std::vector<std::string> levels;
+    if (consumeKeyword("levels")) {
+      expect(TokenKind::LBrace);
+      levels.push_back(parseName("abstraction level"));
+      while (at(TokenKind::Comma)) {
+        advance();
+        levels.push_back(parseName("abstraction level"));
+      }
+      expect(TokenKind::RBrace);
+    }
+    int preference = 0;
+    if (consumeKeyword("prefer")) {
+      if (consumeKeyword("low")) {
+        preference = -1;
+      } else if (consumeKeyword("high")) {
+        preference = 1;
+      } else {
+        fail("expected 'low' or 'high' after 'prefer'");
+      }
+    }
+    expect(TokenKind::Semicolon);
+    const std::size_t pi = spec_.addProperty(
+        name, object, std::move(initial), std::move(unit), std::move(levels));
+    spec_.properties[pi].preference = preference;
+  }
+
+  void parseConstraint() {
+    expectKeyword("constraint");
+    ScenarioSpec::Cons cons;
+    cons.name = parseName("constraint name");
+    expect(TokenKind::Colon);
+    cons.lhs = parseExpr();
+    if (at(TokenKind::Le)) {
+      cons.rel = constraint::Relation::Le;
+    } else if (at(TokenKind::Ge)) {
+      cons.rel = constraint::Relation::Ge;
+    } else if (at(TokenKind::EqEq)) {
+      cons.rel = constraint::Relation::Eq;
+    } else {
+      fail("expected a relation ('<=', '>=' or '==')");
+    }
+    advance();
+    cons.rhs = parseExpr();
+
+    if (at(TokenKind::LBrace)) {
+      advance();
+      while (!at(TokenKind::RBrace)) {
+        expectKeyword("monotone");
+        bool increasing;
+        if (consumeKeyword("increasing")) {
+          increasing = true;
+        } else if (consumeKeyword("decreasing")) {
+          increasing = false;
+        } else {
+          fail("expected 'increasing' or 'decreasing'");
+        }
+        expectKeyword("in");
+        const std::string prop = parseName("property name");
+        expect(TokenKind::Semicolon);
+        cons.monotone.emplace_back(resolveProperty(prop), increasing);
+      }
+      expect(TokenKind::RBrace);
+    } else {
+      expect(TokenKind::Semicolon);
+    }
+    spec_.addConstraint(std::move(cons));
+  }
+
+  void parseProblem() {
+    expectKeyword("problem");
+    ScenarioSpec::Prob prob;
+    prob.name = parseName("problem name");
+    expect(TokenKind::Colon);
+    prob.object = parseName("object name");
+    if (consumeKeyword("owner")) prob.owner = parseName("owner name");
+    if (consumeKeyword("parent")) {
+      prob.parent = resolveProblem(parseName("parent problem name"));
+    }
+    if (consumeKeyword("after")) {
+      prob.predecessors.push_back(
+          resolveProblem(parseName("predecessor problem name")));
+      while (at(TokenKind::Comma)) {
+        advance();
+        prob.predecessors.push_back(
+            resolveProblem(parseName("predecessor problem name")));
+      }
+    }
+    expect(TokenKind::LBrace);
+    while (!at(TokenKind::RBrace)) {
+      if (consumeKeyword("inputs")) {
+        parsePropertyList(prob.inputs);
+      } else if (consumeKeyword("outputs")) {
+        parsePropertyList(prob.outputs);
+      } else if (consumeKeyword("constraints")) {
+        parseConstraintList(prob.constraints);
+      } else if (consumeKeyword("generates")) {
+        // Constraints the DPM generates when this problem enters the
+        // process (rather than existing from the initial state).
+        expect(TokenKind::LBrace);
+        const std::size_t problemIndex = spec_.problems.size();
+        if (!at(TokenKind::RBrace)) {
+          spec_.constraints[resolveConstraint(parseName("constraint name"))]
+              .generatedBy = problemIndex;
+          while (at(TokenKind::Comma)) {
+            advance();
+            spec_.constraints[resolveConstraint(parseName("constraint name"))]
+                .generatedBy = problemIndex;
+          }
+        }
+        expect(TokenKind::RBrace);
+      } else if (consumeKeyword("deferred")) {
+        prob.startReady = false;
+        expect(TokenKind::Semicolon);
+      } else {
+        fail("expected 'inputs', 'outputs', 'constraints', 'generates' or "
+             "'deferred'");
+      }
+    }
+    expect(TokenKind::RBrace);
+    spec_.addProblem(std::move(prob));
+  }
+
+  void parsePropertyList(std::vector<std::size_t>& out) {
+    expect(TokenKind::LBrace);
+    if (!at(TokenKind::RBrace)) {
+      out.push_back(resolveProperty(parseName("property name")));
+      while (at(TokenKind::Comma)) {
+        advance();
+        out.push_back(resolveProperty(parseName("property name")));
+      }
+    }
+    expect(TokenKind::RBrace);
+  }
+
+  void parseConstraintList(std::vector<std::size_t>& out) {
+    expect(TokenKind::LBrace);
+    if (!at(TokenKind::RBrace)) {
+      out.push_back(resolveConstraint(parseName("constraint name")));
+      while (at(TokenKind::Comma)) {
+        advance();
+        out.push_back(resolveConstraint(parseName("constraint name")));
+      }
+    }
+    expect(TokenKind::RBrace);
+  }
+
+  void parseRequire() {
+    expectKeyword("require");
+    const std::size_t prop = resolveProperty(parseName("property name"));
+    expect(TokenKind::Assign);
+    const double value = parseNumber();
+    expect(TokenKind::Semicolon);
+    spec_.require(prop, value);
+  }
+
+  // -- name resolution ---------------------------------------------------------
+
+  std::size_t resolveProperty(const std::string& name) {
+    if (const auto i = spec_.propertyIndex(name)) return *i;
+    fail("unknown property '" + name + "'");
+  }
+  std::size_t resolveConstraint(const std::string& name) {
+    if (const auto i = spec_.constraintIndex(name)) return *i;
+    fail("unknown constraint '" + name + "'");
+  }
+  std::size_t resolveProblem(const std::string& name) {
+    if (const auto i = spec_.problemIndex(name)) return *i;
+    fail("unknown problem '" + name + "'");
+  }
+
+  // -- expressions -------------------------------------------------------------
+
+  expr::Expr parseExpr() {
+    expr::Expr left = parseTerm();
+    while (at(TokenKind::Plus) || at(TokenKind::Minus)) {
+      const bool add = at(TokenKind::Plus);
+      advance();
+      const expr::Expr right = parseTerm();
+      left = add ? left + right : left - right;
+    }
+    return left;
+  }
+
+  expr::Expr parseTerm() {
+    expr::Expr left = parseFactor();
+    while (at(TokenKind::Star) || at(TokenKind::Slash)) {
+      const bool mul = at(TokenKind::Star);
+      advance();
+      const expr::Expr right = parseFactor();
+      left = mul ? left * right : left / right;
+    }
+    return left;
+  }
+
+  expr::Expr parseFactor() {
+    if (at(TokenKind::Minus)) {
+      advance();
+      return -parseFactor();
+    }
+    return parsePower();
+  }
+
+  expr::Expr parsePower() {
+    expr::Expr base = parsePrimary();
+    if (at(TokenKind::Caret)) {
+      advance();
+      bool negative = false;
+      if (at(TokenKind::Minus)) {
+        advance();
+        negative = true;
+      }
+      const Token& t = expect(TokenKind::Number);
+      const double raw = t.number;
+      if (raw != std::floor(raw)) {
+        throw adpm::ParseError("exponent must be an integer", t.line,
+                               t.column);
+      }
+      int n = static_cast<int>(raw);
+      if (negative) n = -n;
+      return expr::pow(base, n);
+    }
+    return base;
+  }
+
+  expr::Expr parsePrimary() {
+    if (at(TokenKind::Number)) {
+      return expr::Expr::constant(advance().number);
+    }
+    if (at(TokenKind::LParen)) {
+      advance();
+      expr::Expr inner = parseExpr();
+      expect(TokenKind::RParen);
+      return inner;
+    }
+    if (at(TokenKind::Identifier) && peek(1).kind == TokenKind::LParen) {
+      const std::string func = advance().text;
+      advance();  // '('
+      std::vector<expr::Expr> args;
+      args.push_back(parseExpr());
+      while (at(TokenKind::Comma)) {
+        advance();
+        args.push_back(parseExpr());
+      }
+      expect(TokenKind::RParen);
+      return applyFunction(func, std::move(args));
+    }
+    if (at(TokenKind::Identifier) || at(TokenKind::String)) {
+      const Token& t = advance();
+      const auto idx = spec_.propertyIndex(t.text);
+      if (!idx) {
+        throw adpm::ParseError("unknown property '" + t.text + "'", t.line,
+                               t.column);
+      }
+      return spec_.pvar(*idx);
+    }
+    fail("expected an expression");
+  }
+
+  expr::Expr applyFunction(const std::string& func,
+                           std::vector<expr::Expr> args) {
+    auto arityCheck = [&](std::size_t n) {
+      if (args.size() != n) {
+        fail("function '" + func + "' takes " + std::to_string(n) +
+             " argument(s)");
+      }
+    };
+    if (func == "sqrt") { arityCheck(1); return expr::sqrt(args[0]); }
+    if (func == "sqr") { arityCheck(1); return expr::sqr(args[0]); }
+    if (func == "exp") { arityCheck(1); return expr::exp(args[0]); }
+    if (func == "log") { arityCheck(1); return expr::log(args[0]); }
+    if (func == "abs") { arityCheck(1); return expr::abs(args[0]); }
+    if (func == "min") { arityCheck(2); return expr::min(args[0], args[1]); }
+    if (func == "max") { arityCheck(2); return expr::max(args[0], args[1]); }
+    fail("unknown function '" + func + "'");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  ScenarioSpec spec_;
+};
+
+}  // namespace
+
+dpm::ScenarioSpec parse(std::string_view source) {
+  Parser parser(source);
+  dpm::ScenarioSpec spec = parser.run();
+  const auto errors = spec.validate();
+  if (!errors.empty()) {
+    std::string msg = "scenario '" + spec.name + "' failed validation:";
+    for (const auto& e : errors) msg += "\n  " + e;
+    throw adpm::ParseError(msg, 0, 0);
+  }
+  return spec;
+}
+
+}  // namespace adpm::dddl

@@ -1,0 +1,60 @@
+// DDDL parser.
+//
+// Grammar (EBNF; [] optional, {} zero-or-more, | alternatives):
+//
+//   scenario     ::= "scenario" name "{" { declaration } "}"
+//   declaration  ::= object | property | constraint | problem | require
+//
+//   object       ::= "object" name [ "parent" name ] ";"
+//
+//   property     ::= "property" name ":" name            // ": <object>"
+//                    ( "range" "[" number "," number "]"
+//                    | "set" "{" number { "," number } "}" )
+//                    [ "unit" string ]
+//                    [ "levels" "{" name { "," name } "}" ]
+//                    [ "prefer" ("low" | "high") ] ";"
+//
+//   constraint   ::= "constraint" name ":" expr rel expr
+//                    ( ";" | "{" { monotone } "}" )
+//   monotone     ::= "monotone" ("increasing" | "decreasing") "in" name ";"
+//   rel          ::= "<=" | ">=" | "=="
+//
+//   problem      ::= "problem" name ":" name [ "owner" name ]
+//                    [ "parent" name ] [ "after" name { "," name } ]
+//                    "{" { problemPart } "}"
+//   problemPart  ::= ("inputs"|"outputs"|"constraints"|"generates")
+//                    "{" [ name { "," name } ] "}"
+//                  | "deferred" ";"
+//
+//   A constraint listed under "generates" is created by the DPM when the
+//   problem enters the process instead of existing from the initial state.
+//
+//   require      ::= "require" name "=" number ";"
+//
+//   expr         ::= term { ("+"|"-") term }
+//   term         ::= factor { ("*"|"/") factor }
+//   factor       ::= ["-"] power
+//   power        ::= primary [ "^" integer ]
+//   primary      ::= number | name | "(" expr ")"
+//                  | func "(" expr { "," expr } ")"
+//   func         ::= "sqrt"|"sqr"|"exp"|"log"|"abs"|"min"|"max"
+//   name         ::= identifier | string      // strings allow '-' in names
+//
+// Monotonicity declarations follow the paper's semantics: "a constraint c_i
+// is monotonic in a_i if moving a_i's value in a given direction helps
+// satisfy the design requirement implied by c_i" — i.e. `monotone increasing
+// in X` declares that *increasing* X helps satisfy the constraint.
+#pragma once
+
+#include <string_view>
+
+#include "dpm/scenario.hpp"
+
+namespace adpm::dddl {
+
+/// Parses DDDL source into a scenario spec.  Throws adpm::ParseError with
+/// line/column on syntax errors and on references to undeclared names.
+/// The returned spec additionally passes ScenarioSpec::validate().
+dpm::ScenarioSpec parse(std::string_view source);
+
+}  // namespace adpm::dddl

@@ -1,0 +1,52 @@
+// DDDL tokens.
+//
+// TeamSim "is configured for the scenario's design area using the DDDL
+// language [3,10]: types of properties, constraints, problems,
+// decompositions, ordering among design problems, and constraint
+// monotonicity can be specified" (paper, Section 3.1.2).  The original DDDL
+// (Sutton & Director, DAC'96) is not publicly available; this module
+// implements a faithful equivalent covering everything the paper's scenarios
+// need.  See docs in src/dddl/parser.hpp for the grammar.
+#pragma once
+
+#include <string>
+
+namespace adpm::dddl {
+
+enum class TokenKind : std::uint8_t {
+  End,
+  Identifier,  // bare name (letters, digits, '_', '.')
+  String,      // "quoted name" — used for names containing '-', '+', spaces
+  Number,      // floating-point literal
+  // punctuation / operators
+  LBrace,      // {
+  RBrace,      // }
+  LBracket,    // [
+  RBracket,    // ]
+  LParen,      // (
+  RParen,      // )
+  Comma,       // ,
+  Semicolon,   // ;
+  Colon,       // :
+  Assign,      // =
+  Plus,        // +
+  Minus,       // -
+  Star,        // *
+  Slash,       // /
+  Caret,       // ^
+  Le,          // <=
+  Ge,          // >=
+  EqEq,        // ==
+};
+
+const char* tokenKindName(TokenKind k) noexcept;
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;    // identifier/string payload
+  double number = 0.0; // number payload
+  int line = 1;
+  int column = 1;
+};
+
+}  // namespace adpm::dddl

@@ -1,0 +1,262 @@
+#include "dddl/writer.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace adpm::dddl {
+
+namespace {
+
+using dpm::ScenarioSpec;
+
+/// Quotes names that are not bare identifiers (e.g. "Diff-pair-W").
+std::string quoteIfNeeded(const std::string& name) {
+  bool bare = !name.empty() &&
+              (std::isalpha(static_cast<unsigned char>(name[0])) ||
+               name[0] == '_');
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.')) {
+      bare = false;
+      break;
+    }
+  }
+  // Keywords must be quoted to avoid ambiguity.
+  static const char* kKeywords[] = {
+      "scenario", "object", "parent", "property", "range", "set", "unit",
+      "levels", "constraint", "monotone", "increasing", "decreasing", "in",
+      "problem", "owner", "after", "inputs", "outputs", "constraints",
+      "generates", "deferred", "require", "prefer", "low", "high", "sqrt", "sqr", "exp", "log", "abs", "min", "max"};
+  for (const char* kw : kKeywords) {
+    if (name == kw) bare = false;
+  }
+  if (bare) return name;
+  return "\"" + name + "\"";
+}
+
+void renderExpr(const expr::Expr& e, const ScenarioSpec& spec,
+                std::ostringstream& out, int parentPrec);
+
+int precedence(expr::OpKind kind) {
+  switch (kind) {
+    case expr::OpKind::Add:
+    case expr::OpKind::Sub:
+      return 1;
+    case expr::OpKind::Mul:
+    case expr::OpKind::Div:
+      return 2;
+    case expr::OpKind::Neg:
+      return 3;
+    default:
+      return 4;
+  }
+}
+
+void renderBinary(const expr::Node& n, const char* op, const ScenarioSpec& spec,
+                  std::ostringstream& out, int prec, int parentPrec,
+                  bool rightTighter) {
+  if (prec < parentPrec) out << "(";
+  renderExpr(n.children[0], spec, out, prec);
+  out << op;
+  renderExpr(n.children[1], spec, out, prec + (rightTighter ? 1 : 0));
+  if (prec < parentPrec) out << ")";
+}
+
+void renderExpr(const expr::Expr& e, const ScenarioSpec& spec,
+                std::ostringstream& out, int parentPrec) {
+  const expr::Node& n = e.node();
+  const int prec = precedence(n.kind);
+  switch (n.kind) {
+    case expr::OpKind::Const:
+      if (n.value < 0) {
+        out << "(" << util::formatExact(n.value) << ")";
+      } else {
+        out << util::formatExact(n.value);
+      }
+      return;
+    case expr::OpKind::Var:
+      out << quoteIfNeeded(spec.properties.at(n.var).name);
+      return;
+    case expr::OpKind::Add:
+      renderBinary(n, " + ", spec, out, prec, parentPrec, false);
+      return;
+    case expr::OpKind::Sub:
+      renderBinary(n, " - ", spec, out, prec, parentPrec, true);
+      return;
+    case expr::OpKind::Mul:
+      renderBinary(n, " * ", spec, out, prec, parentPrec, false);
+      return;
+    case expr::OpKind::Div:
+      renderBinary(n, " / ", spec, out, prec, parentPrec, true);
+      return;
+    case expr::OpKind::Neg:
+      out << "-";
+      renderExpr(n.children[0], spec, out, prec);
+      return;
+    case expr::OpKind::Pow:
+      renderExpr(n.children[0], spec, out, 4);
+      out << "^";
+      if (n.exponent < 0) {
+        out << "-" << -n.exponent;
+      } else {
+        out << n.exponent;
+      }
+      return;
+    case expr::OpKind::Sqrt:
+    case expr::OpKind::Sqr:
+    case expr::OpKind::Exp:
+    case expr::OpKind::Log:
+    case expr::OpKind::Abs:
+      out << expr::opName(n.kind) << "(";
+      renderExpr(n.children[0], spec, out, 0);
+      out << ")";
+      return;
+    case expr::OpKind::Min:
+    case expr::OpKind::Max:
+      out << expr::opName(n.kind) << "(";
+      renderExpr(n.children[0], spec, out, 0);
+      out << ", ";
+      renderExpr(n.children[1], spec, out, 0);
+      out << ")";
+      return;
+  }
+}
+
+std::string exprText(const expr::Expr& e, const ScenarioSpec& spec) {
+  std::ostringstream out;
+  renderExpr(e, spec, out, 0);
+  return out.str();
+}
+
+const char* relText(constraint::Relation r) {
+  switch (r) {
+    case constraint::Relation::Le: return "<=";
+    case constraint::Relation::Ge: return ">=";
+    case constraint::Relation::Eq: return "==";
+  }
+  return "?";
+}
+
+void writeNameList(std::ostringstream& out, const char* label,
+                   const std::vector<std::size_t>& indices,
+                   const std::vector<std::string>& names) {
+  out << "    " << label << " { ";
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (i) out << ", ";
+    out << quoteIfNeeded(names.at(indices[i]));
+  }
+  out << " }\n";
+}
+
+}  // namespace
+
+std::string write(const ScenarioSpec& spec) {
+  std::ostringstream out;
+  out << "scenario " << quoteIfNeeded(spec.name) << " {\n";
+
+  for (const auto& o : spec.objects) {
+    out << "  object " << quoteIfNeeded(o.name);
+    if (!o.parent.empty()) out << " parent " << quoteIfNeeded(o.parent);
+    out << ";\n";
+  }
+  out << "\n";
+
+  for (const auto& p : spec.properties) {
+    out << "  property " << quoteIfNeeded(p.name) << " : "
+        << quoteIfNeeded(p.object) << " ";
+    if (p.initial.isDiscrete()) {
+      out << "set { ";
+      const auto& vs = p.initial.values();
+      for (std::size_t i = 0; i < vs.size(); ++i) {
+        if (i) out << ", ";
+        out << util::formatExact(vs[i]);
+      }
+      out << " }";
+    } else {
+      out << "range [" << util::formatExact(p.initial.hull().lo()) << ", "
+          << util::formatExact(p.initial.hull().hi()) << "]";
+    }
+    if (!p.unit.empty()) out << " unit \"" << p.unit << "\"";
+    if (!p.levels.empty()) {
+      out << " levels { ";
+      for (std::size_t i = 0; i < p.levels.size(); ++i) {
+        if (i) out << ", ";
+        out << quoteIfNeeded(p.levels[i]);
+      }
+      out << " }";
+    }
+    if (p.preference < 0) out << " prefer low";
+    if (p.preference > 0) out << " prefer high";
+    out << ";\n";
+  }
+  out << "\n";
+
+  for (const auto& c : spec.constraints) {
+    out << "  constraint " << quoteIfNeeded(c.name) << " : "
+        << exprText(c.lhs, spec) << " " << relText(c.rel) << " "
+        << exprText(c.rhs, spec);
+    if (c.monotone.empty()) {
+      out << ";\n";
+    } else {
+      out << " {\n";
+      for (const auto& [pi, up] : c.monotone) {
+        out << "    monotone " << (up ? "increasing" : "decreasing") << " in "
+            << quoteIfNeeded(spec.properties.at(pi).name) << ";\n";
+      }
+      out << "  }\n";
+    }
+  }
+  out << "\n";
+
+  std::vector<std::string> propNames;
+  propNames.reserve(spec.properties.size());
+  for (const auto& p : spec.properties) propNames.push_back(p.name);
+  std::vector<std::string> consNames;
+  consNames.reserve(spec.constraints.size());
+  for (const auto& c : spec.constraints) consNames.push_back(c.name);
+
+  for (const auto& p : spec.problems) {
+    out << "  problem " << quoteIfNeeded(p.name) << " : "
+        << quoteIfNeeded(p.object);
+    if (!p.owner.empty()) out << " owner " << quoteIfNeeded(p.owner);
+    if (p.parent) {
+      out << " parent " << quoteIfNeeded(spec.problems.at(*p.parent).name);
+    }
+    if (!p.predecessors.empty()) {
+      out << " after ";
+      for (std::size_t i = 0; i < p.predecessors.size(); ++i) {
+        if (i) out << ", ";
+        out << quoteIfNeeded(spec.problems.at(p.predecessors[i]).name);
+      }
+    }
+    out << " {\n";
+    if (!p.inputs.empty()) writeNameList(out, "inputs", p.inputs, propNames);
+    writeNameList(out, "outputs", p.outputs, propNames);
+    writeNameList(out, "constraints", p.constraints, consNames);
+    const std::size_t problemIndex =
+        static_cast<std::size_t>(&p - spec.problems.data());
+    std::vector<std::size_t> generated;
+    for (std::size_t ci = 0; ci < spec.constraints.size(); ++ci) {
+      if (spec.constraints[ci].generatedBy == problemIndex) {
+        generated.push_back(ci);
+      }
+    }
+    if (!generated.empty()) {
+      writeNameList(out, "generates", generated, consNames);
+    }
+    if (!p.startReady) out << "    deferred;\n";
+    out << "  }\n";
+  }
+  out << "\n";
+
+  for (const auto& r : spec.requirements) {
+    out << "  require " << quoteIfNeeded(spec.properties.at(r.property).name)
+        << " = " << util::formatExact(r.value) << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace adpm::dddl

@@ -1,0 +1,15 @@
+// DDDL writer: serialises a ScenarioSpec back to DDDL text.
+//
+// write(parse(text)) round-trips to an equivalent spec; the TeamSim CLI uses
+// this to dump the built-in scenarios as editable DDDL files.
+#pragma once
+
+#include <string>
+
+#include "dpm/scenario.hpp"
+
+namespace adpm::dddl {
+
+std::string write(const dpm::ScenarioSpec& spec);
+
+}  // namespace adpm::dddl

@@ -1,0 +1,36 @@
+// Text renderings of Minerva III's browser windows (Figs. 2-4 of the paper).
+//
+// The paper's screenshots show three designer-facing views:
+//   Fig. 2 — object browser: per property, abstraction levels and the values
+//            "not found to be infeasible" (consistent values),
+//   Fig. 3 — constraint & property browser: constraints with statuses and,
+//            per property, the number of constraints it appears in (β),
+//   Fig. 4 — conflict-resolution view: violated constraints plus the
+//            "Connected violations" column (α).
+// These renderers produce the equivalent ASCII panels from live state.
+#pragma once
+
+#include <string>
+
+#include "dpm/manager.hpp"
+
+namespace adpm::dpm {
+
+/// Fig. 2: the object browser for one design object.
+std::string renderObjectBrowser(const DesignProcessManager& dpm,
+                                const std::string& objectName);
+
+/// Figs. 3 / 4: the constraint & property browser scoped to the properties
+/// and constraints a designer can see (their objects' properties plus every
+/// constraint touching them).  Pass an empty designer for the global view.
+/// Violated constraints additionally list, per argument, the value window
+/// that constraint alone would require — the paper's
+/// "[48.000000 48.000000] required by LNAGain-C10" lines.
+std::string renderConstraintBrowser(const DesignProcessManager& dpm,
+                                    const std::string& designer = {});
+
+/// The design problem hierarchy with statuses and owners (Minerva III's
+/// problem browser): an indented tree, one problem per line.
+std::string renderProblemTree(const DesignProcessManager& dpm);
+
+}  // namespace adpm::dpm

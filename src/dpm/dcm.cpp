@@ -1,0 +1,15 @@
+#include "dpm/dcm.hpp"
+
+namespace adpm::dpm {
+
+DesignConstraintManager::Evaluation DesignConstraintManager::evaluate(
+    constraint::Network& net) const {
+  Evaluation out;
+  const std::size_t before = net.evaluationCount();
+  out.propagation = propagator_.run(net);
+  out.guidance = miner_.mine(net, out.propagation);
+  out.evaluations = net.evaluationCount() - before;
+  return out;
+}
+
+}  // namespace adpm::dpm

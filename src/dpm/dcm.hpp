@@ -1,0 +1,47 @@
+// The Design Constraint Manager (DCM).
+//
+// In ADPM's transition model, after every applied operation "the resulting
+// C_{n+1} ... is then sent to the DCM for evaluation.  The DCM then runs a
+// constraint propagation algorithm to compute infeasible property values and
+// the status of all constraints ... The result is sent back to the DPM."
+// (paper, Section 2.2).  The DCM here is a thin orchestration of the
+// propagation engine plus the heuristic miner.
+#pragma once
+
+#include "constraint/miner.hpp"
+#include "constraint/propagate.hpp"
+
+namespace adpm::dpm {
+
+class DesignConstraintManager {
+ public:
+  struct Options {
+    constraint::Propagator::Options propagation{};
+    constraint::HeuristicMiner::Options miner{};
+  };
+
+  struct Evaluation {
+    constraint::PropagationResult propagation;
+    constraint::GuidanceReport guidance;
+    /// Total evaluations this DCM pass consumed (propagation + mining).
+    std::size_t evaluations = 0;
+  };
+
+  DesignConstraintManager() = default;
+  explicit DesignConstraintManager(Options options)
+      : options_(options),
+        propagator_(options.propagation),
+        miner_(options.miner) {}
+
+  /// Full DCM pass over the network's current state.
+  Evaluation evaluate(constraint::Network& net) const;
+
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  Options options_{};
+  constraint::Propagator propagator_{};
+  constraint::HeuristicMiner miner_{};
+};
+
+}  // namespace adpm::dpm

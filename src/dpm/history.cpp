@@ -1,0 +1,101 @@
+#include "dpm/history.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace adpm::dpm {
+
+void DesignHistory::append(HistoryEntry entry) {
+  entry.stage = entries_.size() + 1;
+  entries_.push_back(std::move(entry));
+}
+
+const HistoryEntry& DesignHistory::entry(std::size_t stage) const {
+  if (stage == 0 || stage > entries_.size()) {
+    throw adpm::InvalidArgumentError("history stage out of range: " +
+                                     std::to_string(stage));
+  }
+  return entries_[stage - 1];
+}
+
+std::optional<double> DesignHistory::valueAt(constraint::PropertyId p,
+                                             std::size_t stage) const {
+  std::optional<double> value;
+  for (const auto& [pid, v] : initialBindings_) {
+    if (pid == p) value = v;
+  }
+  const std::size_t upTo = std::min(stage, entries_.size());
+  for (std::size_t i = 0; i < upTo; ++i) {
+    for (const AssignmentDelta& a : entries_[i].assignments) {
+      if (a.property == p) value = a.after;
+    }
+  }
+  return value;
+}
+
+std::vector<std::size_t> DesignHistory::assignmentStages(
+    constraint::PropertyId p) const {
+  std::vector<std::size_t> stages;
+  for (const HistoryEntry& e : entries_) {
+    for (const AssignmentDelta& a : e.assignments) {
+      if (a.property == p) {
+        stages.push_back(e.stage);
+        break;
+      }
+    }
+  }
+  return stages;
+}
+
+std::size_t DesignHistory::assignmentCount(constraint::PropertyId p) const {
+  std::size_t count = 0;
+  for (const HistoryEntry& e : entries_) {
+    for (const AssignmentDelta& a : e.assignments) {
+      if (a.property == p) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<std::size_t> DesignHistory::spinStages() const {
+  std::vector<std::size_t> stages;
+  for (const HistoryEntry& e : entries_) {
+    if (e.record.spin) stages.push_back(e.stage);
+  }
+  return stages;
+}
+
+std::size_t DesignHistory::violationsAfter(std::size_t stage) const {
+  if (stage == 0 || entries_.empty()) return 0;
+  const std::size_t upTo = std::min(stage, entries_.size());
+  return entries_[upTo - 1].record.violationsKnownAfter;
+}
+
+std::optional<std::size_t> DesignHistory::firstViolation(
+    constraint::ConstraintId c) const {
+  for (const HistoryEntry& e : entries_) {
+    for (const StatusDelta& d : e.statusChanges) {
+      if (d.constraint == c && d.after == constraint::Status::Violated) {
+        return e.stage;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> DesignHistory::stagesBy(
+    const std::string& designer) const {
+  std::vector<std::size_t> stages;
+  for (const HistoryEntry& e : entries_) {
+    if (e.record.op.designer == designer) stages.push_back(e.stage);
+  }
+  return stages;
+}
+
+void DesignHistory::recordInitialBinding(constraint::PropertyId p,
+                                         double value) {
+  initialBindings_.emplace_back(p, value);
+}
+
+}  // namespace adpm::dpm

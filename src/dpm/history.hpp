@@ -1,0 +1,100 @@
+// The design process history H_n.
+//
+// "The design process history at stage n is given by
+//  H_n = {(<s_i, θ_i>, i=1..n-1) ∪ s_n}" (paper, eq. before (2)).
+//
+// Storing full deep state snapshots per stage would be wasteful; the history
+// instead journals the *deltas* each operation produced — value assignments
+// (with the previous binding), constraint status changes, and problem status
+// changes — which is enough to reconstruct any past stage's bindings and
+// status vector, answer the designer model's history queries, and export the
+// whole process for post-simulation analysis.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "constraint/constraint.hpp"
+#include "dpm/operation.hpp"
+#include "dpm/problem.hpp"
+
+namespace adpm::dpm {
+
+/// One property assignment performed by an operation, with its previous
+/// binding (nullopt = was unbound).
+struct AssignmentDelta {
+  constraint::PropertyId property{};
+  std::optional<double> before;
+  double after = 0.0;
+};
+
+/// One constraint status transition caused by an operation.
+struct StatusDelta {
+  constraint::ConstraintId constraint{};
+  constraint::Status before = constraint::Status::Consistent;
+  constraint::Status after = constraint::Status::Consistent;
+};
+
+/// One problem status transition.
+struct ProblemDelta {
+  ProblemId problem{};
+  ProblemStatus before = ProblemStatus::Unassigned;
+  ProblemStatus after = ProblemStatus::Unassigned;
+};
+
+/// Everything recorded about one stage transition <s_n, θ_n> -> s_{n+1}.
+struct HistoryEntry {
+  std::size_t stage = 0;  // 1-based, matches OperationRecord::stage
+  OperationRecord record;
+  std::vector<AssignmentDelta> assignments;
+  std::vector<StatusDelta> statusChanges;
+  std::vector<ProblemDelta> problemChanges;
+};
+
+/// Journal of the whole design process.
+class DesignHistory {
+ public:
+  void append(HistoryEntry entry);
+
+  std::size_t stages() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  const HistoryEntry& entry(std::size_t stage) const;  // 1-based
+  const std::vector<HistoryEntry>& entries() const noexcept { return entries_; }
+
+  /// The value property p held *after* the given stage (nullopt = unbound).
+  /// Stage 0 queries the initial state.
+  std::optional<double> valueAt(constraint::PropertyId p,
+                                std::size_t stage) const;
+
+  /// All stages at which property p was assigned, ascending.
+  std::vector<std::size_t> assignmentStages(constraint::PropertyId p) const;
+
+  /// Number of times property p was assigned in total.
+  std::size_t assignmentCount(constraint::PropertyId p) const;
+
+  /// Stages whose operation was a spin, ascending.
+  std::vector<std::size_t> spinStages() const;
+
+  /// The count of constraints known-violated after the given stage (0 for
+  /// stage 0).
+  std::size_t violationsAfter(std::size_t stage) const;
+
+  /// First stage at which constraint c was discovered violated (nullopt =
+  /// never).
+  std::optional<std::size_t> firstViolation(constraint::ConstraintId c) const;
+
+  /// Stages in [from, to] (1-based, inclusive) whose operations were issued
+  /// by the given designer.
+  std::vector<std::size_t> stagesBy(const std::string& designer) const;
+
+  /// Initial requirement bindings (stage 0 script), recorded separately so
+  /// valueAt(p, 0) can answer correctly.
+  void recordInitialBinding(constraint::PropertyId p, double value);
+
+ private:
+  std::vector<HistoryEntry> entries_;
+  std::vector<std::pair<constraint::PropertyId, double>> initialBindings_;
+};
+
+}  // namespace adpm::dpm

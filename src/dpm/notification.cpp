@@ -1,0 +1,89 @@
+#include "dpm/notification.hpp"
+
+#include <algorithm>
+
+namespace adpm::dpm {
+
+const char* notificationKindName(NotificationKind k) noexcept {
+  switch (k) {
+    case NotificationKind::ViolationDetected: return "ViolationDetected";
+    case NotificationKind::ViolationResolved: return "ViolationResolved";
+    case NotificationKind::FeasibleSubspaceReduced:
+      return "FeasibleSubspaceReduced";
+    case NotificationKind::ProblemSolved: return "ProblemSolved";
+    case NotificationKind::RequirementChanged: return "RequirementChanged";
+  }
+  return "?";
+}
+
+std::vector<Notification> NotificationManager::diff(
+    std::size_t stage, constraint::Network& net,
+    const std::vector<constraint::Status>& before,
+    const std::vector<constraint::Status>& after,
+    const constraint::GuidanceReport* guidanceBefore,
+    const constraint::GuidanceReport* guidanceAfter,
+    const std::function<std::vector<std::string>(
+        const constraint::Constraint&)>& audienceOf,
+    const std::function<std::string(constraint::PropertyId)>& ownerOf) const {
+  std::vector<Notification> out;
+
+  // Constraint status transitions.
+  const std::size_t nc = std::min(before.size(), after.size());
+  auto emitStatus = [&](std::uint32_t i, NotificationKind kind) {
+    const constraint::Constraint& c =
+        net.constraint(constraint::ConstraintId{i});
+    for (const std::string& designer : audienceOf(c)) {
+      if (designer.empty()) continue;
+      Notification n;
+      n.kind = kind;
+      n.designer = designer;
+      n.stage = stage;
+      n.constraintId = c.id();
+      n.text = std::string(notificationKindName(kind)) + ": " + c.name();
+      out.push_back(std::move(n));
+    }
+  };
+  for (std::uint32_t i = 0; i < nc; ++i) {
+    const bool wasViolated = before[i] == constraint::Status::Violated;
+    const bool isViolated = after[i] == constraint::Status::Violated;
+    if (!wasViolated && isViolated) {
+      emitStatus(i, NotificationKind::ViolationDetected);
+    } else if (wasViolated && !isViolated) {
+      emitStatus(i, NotificationKind::ViolationResolved);
+    }
+  }
+  // Constraints added since the previous state start as not-violated; report
+  // any that arrive violated.
+  for (std::uint32_t i = static_cast<std::uint32_t>(nc); i < after.size();
+       ++i) {
+    if (after[i] == constraint::Status::Violated) {
+      emitStatus(i, NotificationKind::ViolationDetected);
+    }
+  }
+
+  // Feasible-subspace reductions.
+  if (guidanceBefore && guidanceAfter) {
+    const std::size_t np = std::min(guidanceBefore->properties.size(),
+                                    guidanceAfter->properties.size());
+    for (std::size_t i = 0; i < np; ++i) {
+      const auto& gb = guidanceBefore->properties[i];
+      const auto& ga = guidanceAfter->properties[i];
+      if (ga.relativeFeasibleSize <
+          gb.relativeFeasibleSize * sizes_.reductionThreshold) {
+        const std::string owner = ownerOf(ga.id);
+        if (owner.empty()) continue;
+        Notification n;
+        n.kind = NotificationKind::FeasibleSubspaceReduced;
+        n.designer = owner;
+        n.stage = stage;
+        n.propertyId = ga.id;
+        n.text = "FeasibleSubspaceReduced: " + net.property(ga.id).name +
+                 " now " + ga.feasible.str();
+        out.push_back(std::move(n));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace adpm::dpm

@@ -1,0 +1,75 @@
+// The Notification Manager (NM).
+//
+// "The NM alerts designers of constraint-related events, including
+// violations and reductions of a property's feasible subspace.  It selects
+// subsets of H_{n+1} relevant to each designer and includes them in
+// notifications." (paper, Section 2.2)
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "constraint/miner.hpp"
+
+namespace adpm::dpm {
+
+enum class NotificationKind : std::uint8_t {
+  ViolationDetected,
+  ViolationResolved,
+  FeasibleSubspaceReduced,
+  ProblemSolved,
+  RequirementChanged,
+};
+
+const char* notificationKindName(NotificationKind k) noexcept;
+
+struct Notification {
+  NotificationKind kind{};
+  /// Recipient designer.
+  std::string designer;
+  /// Stage at which the event happened.
+  std::size_t stage = 0;
+  /// Constraint involved (Violation*), if any.
+  std::optional<constraint::ConstraintId> constraintId;
+  /// Property involved (FeasibleSubspaceReduced / RequirementChanged).
+  std::optional<constraint::PropertyId> propertyId;
+  /// Human-readable one-liner.
+  std::string text;
+};
+
+/// Computes the notification fan-out for one state transition.  Relevance
+/// routing: a designer is notified about a constraint event when one of the
+/// constraint's argument properties belongs to an object they own a problem
+/// for; subspace reductions go to the owner of the property's object.
+class NotificationManager {
+ public:
+  struct Sizes {
+    /// A feasible-subspace reduction below this fraction of the previous
+    /// size triggers a notification.
+    double reductionThreshold = 0.95;
+  };
+
+  NotificationManager() = default;
+  explicit NotificationManager(Sizes sizes) : sizes_(sizes) {}
+
+  /// Diffs known statuses and guidance between consecutive states.
+  /// `ownerOfObject` maps an object name to the owning designer ("" when
+  /// unowned); notifications without a resolvable owner are dropped.
+  std::vector<Notification> diff(
+      std::size_t stage, constraint::Network& net,
+      const std::vector<constraint::Status>& before,
+      const std::vector<constraint::Status>& after,
+      const constraint::GuidanceReport* guidanceBefore,
+      const constraint::GuidanceReport* guidanceAfter,
+      const std::function<std::vector<std::string>(
+          const constraint::Constraint&)>& audienceOf,
+      const std::function<std::string(constraint::PropertyId)>& ownerOf) const;
+
+ private:
+  Sizes sizes_;
+};
+
+}  // namespace adpm::dpm

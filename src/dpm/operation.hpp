@@ -1,0 +1,75 @@
+// Design operators and operations.
+//
+// "A design operator f_i is a function that helps solve a problem p_i by
+// (a) computing values for p_i's outputs (synthesis and optimization
+// operators), (b) verifying that a solution meets one or more constraints in
+// T_i (verification operators), or (c) decomposing p_i into a
+// partially-ordered subproblem set (decomposition operators).  A design
+// operation θ is given by an operator f_i, a problem p_i to which f_i is
+// applied, and f_i's parameter values." (paper, Section 2.1)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "constraint/ids.hpp"
+#include "dpm/problem.hpp"
+
+namespace adpm::dpm {
+
+enum class OperatorKind : std::uint8_t {
+  Synthesis,      ///< binds values to problem outputs
+  Verification,   ///< evaluates constraints in T_i (a tool run request)
+  Decomposition,  ///< releases a problem's children
+};
+
+const char* operatorKindName(OperatorKind k) noexcept;
+
+/// One operation request θ sent by a designer to the DPM.
+struct Operation {
+  OperatorKind kind = OperatorKind::Synthesis;
+  ProblemId problem{};
+  /// Requesting designer.
+  std::string designer;
+
+  /// Synthesis payload: output assignments (property, value).
+  std::vector<std::pair<constraint::PropertyId, double>> assignments;
+
+  /// Verification payload: specific constraints to check; empty means all of
+  /// the problem's T_i whose arguments are bound.
+  std::vector<constraint::ConstraintId> checks;
+
+  /// The known violation this operation is meant to fix, if any.  The DPM
+  /// uses this to classify the operation as a *spin* when the triggering
+  /// violation involves properties from multiple subsystems.
+  std::optional<constraint::ConstraintId> triggeredBy;
+
+  /// Designer's stated reason for the operation ("smallest feasible
+  /// subspace", "alpha=2, repairing X", ...).  Display-only; lets traces
+  /// explain which heuristic drove each step.
+  std::string rationale;
+};
+
+/// What the DPM recorded about one executed operation (one history entry).
+struct OperationRecord {
+  /// Stage index n (1-based operation number; Fig. 7's x axis).
+  std::size_t stage = 0;
+  Operation op;
+  /// Constraint evaluations consumed by this operation, including any
+  /// propagation and guidance mining (Fig. 7(b)'s y axis).
+  std::size_t evaluations = 0;
+  /// Constraints newly discovered to be violated by this operation
+  /// (Fig. 7(a)'s y axis counts these).
+  std::vector<constraint::ConstraintId> violationsFound;
+  /// Violations known to exist after this operation.
+  std::size_t violationsKnownAfter = 0;
+  /// True when the operation was provoked by a violation spanning multiple
+  /// subsystems — the paper's design "spin" (expensive late iteration).
+  bool spin = false;
+  /// Constraints the DPM generated (activated) during this transition.
+  std::vector<constraint::ConstraintId> constraintsGenerated;
+};
+
+}  // namespace adpm::dpm

@@ -1,0 +1,80 @@
+// Design problems and the design-object hierarchy.
+//
+// "A design problem p_i is given by (I_i, O_i, T_i), where I_i is the set of
+// input properties, O_i is the set of output properties, and T_i is a set of
+// constraints relating a subset of p_i's properties.  A solution for p_i is
+// an assignment for p_i's outputs that satisfies all constraints in T_i."
+// (paper, Section 2.1)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "constraint/ids.hpp"
+
+namespace adpm::dpm {
+
+struct ProblemId {
+  std::uint32_t value = 0;
+  constexpr auto operator<=>(const ProblemId&) const = default;
+};
+
+/// Lifecycle of a problem.  `Waiting` problems (unsatisfied predecessor
+/// ordering) are skipped by the designer model's problem selection f_p.
+enum class ProblemStatus : std::uint8_t {
+  Unassigned,  ///< created but not yet released by a decomposition
+  Ready,       ///< available to its owner
+  InProgress,  ///< has received at least one operation
+  Waiting,     ///< blocked on predecessor problems
+  Solved,      ///< outputs bound, no known violated constraint in T_i
+};
+
+const char* problemStatusName(ProblemStatus s) noexcept;
+
+/// A node in the problem hierarchy.
+struct DesignProblem {
+  ProblemId id{};
+  std::string name;
+  /// The design object this problem develops (subsystem name).
+  std::string object;
+  /// Owning designer (empty until assigned).
+  std::string owner;
+
+  std::vector<constraint::PropertyId> inputs;   // I_i
+  std::vector<constraint::PropertyId> outputs;  // O_i
+  std::vector<constraint::ConstraintId> constraints;  // T_i
+
+  std::optional<ProblemId> parent;
+  std::vector<ProblemId> children;
+  /// Partial order: this problem is Waiting until all predecessors solve.
+  std::vector<ProblemId> predecessors;
+
+  ProblemStatus status = ProblemStatus::Unassigned;
+
+  bool hasOutput(constraint::PropertyId p) const noexcept {
+    for (auto o : outputs) {
+      if (o == p) return true;
+    }
+    return false;
+  }
+};
+
+/// A design object: a named part of the design, holding properties.
+/// (The paper's object hierarchy; Fig. 2's browser shows one object.)
+struct DesignObject {
+  std::string name;
+  std::string parent;  // empty for the root
+  std::string version = "1.0.1";
+  std::vector<constraint::PropertyId> properties;
+};
+
+}  // namespace adpm::dpm
+
+template <>
+struct std::hash<adpm::dpm::ProblemId> {
+  std::size_t operator()(const adpm::dpm::ProblemId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

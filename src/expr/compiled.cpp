@@ -1,0 +1,215 @@
+#include "expr/compiled.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace adpm::expr {
+
+using interval::Interval;
+
+CompiledExpr::CompiledExpr(const Expr& e) {
+  if (!e.valid()) throw adpm::InvalidArgumentError("CompiledExpr: invalid Expr");
+  compile(e);
+  vars_ = variablesOf(e);
+  span_ = 0;
+  for (VarId v : vars_) span_ = std::max(span_, static_cast<std::size_t>(v) + 1);
+  fwd_.resize(nodes_.size());
+  bwd_.resize(nodes_.size());
+}
+
+int CompiledExpr::compile(const Expr& e) {
+  const Node& n = e.node();
+  int c0 = -1;
+  int c1 = -1;
+  if (!n.children.empty()) c0 = compile(n.children[0]);
+  if (n.children.size() > 1) c1 = compile(n.children[1]);
+  nodes_.push_back({n.kind, n.value, n.var, n.exponent, c0, c1});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void CompiledExpr::forwardSweep(std::span<const Interval> domains) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const CNode& n = nodes_[i];
+    const auto x = [&]() -> const Interval& { return fwd_[static_cast<std::size_t>(n.child0)]; };
+    const auto y = [&]() -> const Interval& { return fwd_[static_cast<std::size_t>(n.child1)]; };
+    switch (n.kind) {
+      case OpKind::Const: fwd_[i] = Interval(n.value); break;
+      case OpKind::Var:
+        if (n.var >= domains.size()) {
+          throw adpm::InvalidArgumentError("CompiledExpr: variable out of range");
+        }
+        fwd_[i] = domains[n.var];
+        break;
+      case OpKind::Add: fwd_[i] = x() + y(); break;
+      case OpKind::Sub: fwd_[i] = x() - y(); break;
+      case OpKind::Mul: fwd_[i] = x() * y(); break;
+      case OpKind::Div: fwd_[i] = x() / y(); break;
+      case OpKind::Neg: fwd_[i] = -x(); break;
+      case OpKind::Sqrt: fwd_[i] = interval::sqrt(x()); break;
+      case OpKind::Sqr: fwd_[i] = interval::sqr(x()); break;
+      case OpKind::Pow: fwd_[i] = interval::pow(x(), n.exponent); break;
+      case OpKind::Exp: fwd_[i] = interval::exp(x()); break;
+      case OpKind::Log: fwd_[i] = interval::log(x()); break;
+      case OpKind::Abs: fwd_[i] = interval::abs(x()); break;
+      case OpKind::Min: fwd_[i] = interval::min(x(), y()); break;
+      case OpKind::Max: fwd_[i] = interval::max(x(), y()); break;
+    }
+  }
+}
+
+Interval CompiledExpr::evaluate(std::span<const Interval> domains) {
+  forwardSweep(domains);
+  return fwd_.back();
+}
+
+ReviseResult CompiledExpr::revise(const Interval& target,
+                                  std::span<Interval> domains) {
+  forwardSweep({domains.data(), domains.size()});
+  ReviseResult result;
+  result.value = fwd_.back();
+
+  const Interval rootRange = interval::intersect(result.value, target);
+  if (rootRange.empty()) {
+    result.feasible = false;
+    return result;
+  }
+  result.feasible = true;
+
+  // Backward sweep: bwd_ holds the refined enclosure of each node.  Every
+  // projection is inflated outward before intersecting: the library uses
+  // plain double rounding instead of directed rounding, and without slack a
+  // projection through a deep expression chain can shave the true value off
+  // a point domain by an ULP, falsely proving infeasibility.
+  constexpr double kSlackRel = 1e-10;
+  constexpr double kSlackAbs = 1e-12;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) bwd_[i] = fwd_[i];
+  bwd_.back() = rootRange;
+
+  for (std::size_t ri = nodes_.size(); ri-- > 0;) {
+    const CNode& n = nodes_[ri];
+    const Interval z = bwd_[ri];
+    if (z.empty()) continue;  // dead branch; soundly skip
+
+    auto refine = [&](int child, const Interval& projected) {
+      auto ci = static_cast<std::size_t>(child);
+      bwd_[ci] = interval::intersect(bwd_[ci],
+                                     projected.inflate(kSlackRel, kSlackAbs));
+    };
+    // Prior enclosures handed to projections that intersect internally
+    // (mul/div/sqr/pow/abs/min/max) must carry the slack too, or a point
+    // domain one ULP off empties inside the helper.
+    auto prior = [&](int child) {
+      return bwd_[static_cast<std::size_t>(child)].inflate(kSlackRel,
+                                                           kSlackAbs);
+    };
+
+    switch (n.kind) {
+      case OpKind::Const:
+      case OpKind::Var:
+        break;
+      case OpKind::Add: {
+        const Interval& x = bwd_[static_cast<std::size_t>(n.child0)];
+        const Interval& y = bwd_[static_cast<std::size_t>(n.child1)];
+        refine(n.child0, z - y);
+        refine(n.child1, z - bwd_[static_cast<std::size_t>(n.child0)]);
+        (void)x;
+        break;
+      }
+      case OpKind::Sub: {
+        const Interval y = bwd_[static_cast<std::size_t>(n.child1)];
+        refine(n.child0, z + y);
+        refine(n.child1, bwd_[static_cast<std::size_t>(n.child0)] - z);
+        break;
+      }
+      case OpKind::Mul: {
+        refine(n.child0, interval::projectMulLhs(z, prior(n.child0),
+                                                 prior(n.child1)));
+        refine(n.child1, interval::projectMulLhs(z, prior(n.child1),
+                                                 prior(n.child0)));
+        break;
+      }
+      case OpKind::Div: {
+        // z = x / y  =>  x in z*y;  y in x/z.
+        refine(n.child0, z * prior(n.child1));
+        const Interval y = prior(n.child1);
+        const interval::IntervalPair q =
+            interval::extendedDiv(prior(n.child0), z);
+        refine(n.child1, interval::hull(interval::intersect(y, q.first),
+                                        interval::intersect(y, q.second)));
+        break;
+      }
+      case OpKind::Neg:
+        refine(n.child0, -z);
+        break;
+      case OpKind::Sqrt: {
+        const Interval zc = interval::intersect(z, Interval::nonNegative());
+        refine(n.child0, interval::sqr(zc));
+        break;
+      }
+      case OpKind::Sqr:
+        refine(n.child0, interval::projectSqr(z, prior(n.child0)));
+        break;
+      case OpKind::Pow:
+        refine(n.child0,
+               interval::projectPow(z, prior(n.child0), n.exponent));
+        break;
+      case OpKind::Exp:
+        refine(n.child0, interval::log(z));
+        break;
+      case OpKind::Log:
+        refine(n.child0, interval::exp(z));
+        break;
+      case OpKind::Abs:
+        refine(n.child0, interval::projectAbs(z, prior(n.child0)));
+        break;
+      case OpKind::Min: {
+        refine(n.child0, interval::projectMinLhs(z, prior(n.child0),
+                                                 prior(n.child1)));
+        refine(n.child1, interval::projectMinLhs(z, prior(n.child1),
+                                                 prior(n.child0)));
+        break;
+      }
+      case OpKind::Max: {
+        refine(n.child0, interval::projectMaxLhs(z, prior(n.child0),
+                                                 prior(n.child1)));
+        refine(n.child1, interval::projectMaxLhs(z, prior(n.child1),
+                                                 prior(n.child0)));
+        break;
+      }
+    }
+  }
+
+  // Harvest narrowed variable domains.  A variable occurring several times
+  // gets the intersection of all its occurrences.  An empty refinement means
+  // the constraint is actually infeasible over the box (the root-range test
+  // is only a necessary condition once rounding and the dependency problem
+  // enter); report infeasibility and leave the box untouched rather than
+  // poisoning downstream propagation with an empty domain.
+  // Aggregate across occurrences first, then check, then commit.
+  std::vector<Interval> refined(vars_.size());
+  for (std::size_t k = 0; k < vars_.size(); ++k) refined[k] = domains[vars_[k]];
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind != OpKind::Var) continue;
+    const VarId v = nodes_[i].var;
+    const auto k = static_cast<std::size_t>(
+        std::lower_bound(vars_.begin(), vars_.end(), v) - vars_.begin());
+    refined[k] = interval::intersect(refined[k], bwd_[i]);
+  }
+  for (std::size_t k = 0; k < vars_.size(); ++k) {
+    if (refined[k].empty()) {
+      result.feasible = false;
+      result.narrowed = false;
+      return result;
+    }
+  }
+  for (std::size_t k = 0; k < vars_.size(); ++k) {
+    if (!(refined[k] == domains[vars_[k]])) {
+      domains[vars_[k]] = refined[k];
+      result.narrowed = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace adpm::expr

@@ -1,0 +1,76 @@
+// HC4-revise over a flattened expression.
+//
+// The paper's Design Constraint Manager "runs a constraint propagation
+// algorithm to compute infeasible property values and the status of all
+// constraints", delegating per-constraint evaluation to constraint-based
+// systems (Bessiere & Regin's arc-consistency work is cited).  Our equivalent
+// primitive is HC4-revise: a forward interval sweep of the expression tree
+// followed by a backward projection pass that narrows the variable domains to
+// the values compatible with the constraint's target interval.  Each call to
+// `revise` (or `evaluate`) corresponds to one "constraint evaluation" in the
+// paper's cost metric.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "expr/expr.hpp"
+#include "interval/interval.hpp"
+
+namespace adpm::expr {
+
+/// Result of one HC4-revise call.
+struct ReviseResult {
+  /// Forward interval enclosure of the expression over the input box.
+  interval::Interval value;
+  /// False when value ∩ target is empty (the constraint cannot be met
+  /// anywhere in the box); domains are left untouched in that case.
+  bool feasible = false;
+  /// True when at least one domain was strictly narrowed.
+  bool narrowed = false;
+};
+
+/// An expression flattened to postorder for repeated forward/backward sweeps.
+/// Not thread-safe: each instance owns scratch buffers.
+class CompiledExpr {
+ public:
+  explicit CompiledExpr(const Expr& e);
+
+  /// Distinct variables, ascending.
+  const std::vector<VarId>& variables() const noexcept { return vars_; }
+
+  /// One-past the largest variable id (callers size domain vectors by this).
+  std::size_t variableSpan() const noexcept { return span_; }
+
+  std::size_t nodeCount() const noexcept { return nodes_.size(); }
+
+  /// Forward sweep only: interval enclosure of the expression over the box.
+  interval::Interval evaluate(std::span<const interval::Interval> domains);
+
+  /// Full HC4-revise: narrows `domains` in place to values compatible with
+  /// expression ∈ target.  If the revise proves infeasibility, domains are
+  /// left unchanged and `feasible` is false.
+  ReviseResult revise(const interval::Interval& target,
+                      std::span<interval::Interval> domains);
+
+ private:
+  struct CNode {
+    OpKind kind;
+    double value;
+    VarId var;
+    int exponent;
+    int child0;
+    int child1;
+  };
+
+  int compile(const Expr& e);
+  void forwardSweep(std::span<const interval::Interval> domains);
+
+  std::vector<CNode> nodes_;  // postorder; root is nodes_.back()
+  std::vector<VarId> vars_;
+  std::size_t span_ = 0;
+  std::vector<interval::Interval> fwd_;
+  std::vector<interval::Interval> bwd_;
+};
+
+}  // namespace adpm::expr

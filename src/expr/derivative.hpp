@@ -1,0 +1,45 @@
+// Interval-valued forward-mode automatic differentiation and monotonicity.
+//
+// The paper's simulated designer keeps, per property, "a list of constraints
+// monotonically increasing in a_i and a list of constraints monotonically
+// decreasing in a_i"; DDDL lets scenario authors declare monotonicity
+// explicitly.  This module also *derives* monotonicity automatically: the
+// sign of the interval enclosure of ∂e/∂x over the current box proves
+// monotone behaviour on that box.  Declared directions (from DDDL) can then
+// be validated against derived ones in tests.
+#pragma once
+
+#include <span>
+
+#include "expr/expr.hpp"
+#include "interval/interval.hpp"
+
+namespace adpm::expr {
+
+/// Direction of an expression with respect to one variable over a box.
+enum class Direction : std::uint8_t {
+  None,        ///< variable does not occur in the expression
+  Constant,    ///< derivative is identically zero over the box
+  Increasing,  ///< derivative >= 0 over the whole box
+  Decreasing,  ///< derivative <= 0 over the whole box
+  Unknown,     ///< sign of the derivative changes (or cannot be proven)
+};
+
+const char* directionName(Direction d) noexcept;
+
+/// Value and derivative enclosures of an expression over a box.
+struct ValueDerivative {
+  interval::Interval value;
+  interval::Interval derivative;
+};
+
+/// Forward-mode AD: enclosures of e and ∂e/∂var over the box `domains`.
+ValueDerivative evalDerivative(const Expr& e,
+                               std::span<const interval::Interval> domains,
+                               VarId var);
+
+/// Proven direction of e with respect to `var` over the box.
+Direction monotonicity(const Expr& e,
+                       std::span<const interval::Interval> domains, VarId var);
+
+}  // namespace adpm::expr

@@ -1,0 +1,250 @@
+#include "expr/expr.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace adpm::expr {
+
+int arity(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::Const:
+    case OpKind::Var:
+      return 0;
+    case OpKind::Neg:
+    case OpKind::Sqrt:
+    case OpKind::Sqr:
+    case OpKind::Pow:
+    case OpKind::Exp:
+    case OpKind::Log:
+    case OpKind::Abs:
+      return 1;
+    case OpKind::Add:
+    case OpKind::Sub:
+    case OpKind::Mul:
+    case OpKind::Div:
+    case OpKind::Min:
+    case OpKind::Max:
+      return 2;
+  }
+  return 0;
+}
+
+const char* opName(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::Const: return "const";
+    case OpKind::Var: return "var";
+    case OpKind::Add: return "add";
+    case OpKind::Sub: return "sub";
+    case OpKind::Mul: return "mul";
+    case OpKind::Div: return "div";
+    case OpKind::Neg: return "neg";
+    case OpKind::Sqrt: return "sqrt";
+    case OpKind::Sqr: return "sqr";
+    case OpKind::Pow: return "pow";
+    case OpKind::Exp: return "exp";
+    case OpKind::Log: return "log";
+    case OpKind::Abs: return "abs";
+    case OpKind::Min: return "min";
+    case OpKind::Max: return "max";
+  }
+  return "?";
+}
+
+const Node& Expr::node() const {
+  if (!node_) throw adpm::InvalidArgumentError("use of invalid Expr");
+  return *node_;
+}
+
+OpKind Expr::kind() const { return node().kind; }
+
+Expr Expr::constant(double value) {
+  return make(OpKind::Const, {}, value);
+}
+
+Expr Expr::variable(VarId id, std::string name) {
+  return make(OpKind::Var, {}, 0.0, id, 1, std::move(name));
+}
+
+Expr Expr::make(OpKind kind, std::vector<Expr> children, double value,
+                VarId var, int exponent, std::string name) {
+  if (static_cast<int>(children.size()) != arity(kind)) {
+    throw adpm::InvalidArgumentError(std::string("wrong arity for ") +
+                                     opName(kind));
+  }
+  for (const auto& c : children) {
+    if (!c.valid()) throw adpm::InvalidArgumentError("invalid child Expr");
+  }
+  auto node = std::make_shared<Node>();
+  node->kind = kind;
+  node->value = value;
+  node->var = var;
+  node->exponent = exponent;
+  node->name = std::move(name);
+  node->children = std::move(children);
+  Expr e;
+  e.node_ = std::move(node);
+  return e;
+}
+
+bool Expr::sameAs(const Expr& other) const noexcept {
+  if (node_ == other.node_) return true;
+  if (!node_ || !other.node_) return false;
+  const Node& a = *node_;
+  const Node& b = *other.node_;
+  if (a.kind != b.kind || a.value != b.value || a.var != b.var ||
+      a.exponent != b.exponent || a.children.size() != b.children.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.children.size(); ++i) {
+    if (!a.children[i].sameAs(b.children[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+int precedence(OpKind kind) {
+  switch (kind) {
+    case OpKind::Add:
+    case OpKind::Sub:
+      return 1;
+    case OpKind::Mul:
+    case OpKind::Div:
+      return 2;
+    case OpKind::Neg:
+      return 3;
+    default:
+      return 4;
+  }
+}
+
+void render(const Expr& e, std::ostringstream& out, int parentPrec) {
+  const Node& n = e.node();
+  const int prec = precedence(n.kind);
+  switch (n.kind) {
+    case OpKind::Const:
+      out << n.value;
+      return;
+    case OpKind::Var:
+      if (n.name.empty()) {
+        out << "v" << n.var;
+      } else {
+        out << n.name;
+      }
+      return;
+    case OpKind::Add:
+    case OpKind::Sub:
+    case OpKind::Mul:
+    case OpKind::Div: {
+      const char* op = n.kind == OpKind::Add   ? " + "
+                       : n.kind == OpKind::Sub ? " - "
+                       : n.kind == OpKind::Mul ? " * "
+                                               : " / ";
+      if (prec < parentPrec) out << "(";
+      render(n.children[0], out, prec);
+      out << op;
+      // Right child needs parens when same precedence and non-commutative.
+      render(n.children[1], out, prec + (n.kind == OpKind::Sub || n.kind == OpKind::Div ? 1 : 0));
+      if (prec < parentPrec) out << ")";
+      return;
+    }
+    case OpKind::Neg:
+      out << "-";
+      render(n.children[0], out, prec);
+      return;
+    case OpKind::Pow:
+      render(n.children[0], out, 4);
+      out << "^" << n.exponent;
+      return;
+    case OpKind::Sqrt:
+    case OpKind::Sqr:
+    case OpKind::Exp:
+    case OpKind::Log:
+    case OpKind::Abs:
+      out << opName(n.kind) << "(";
+      render(n.children[0], out, 0);
+      out << ")";
+      return;
+    case OpKind::Min:
+    case OpKind::Max:
+      out << opName(n.kind) << "(";
+      render(n.children[0], out, 0);
+      out << ", ";
+      render(n.children[1], out, 0);
+      out << ")";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string Expr::str() const {
+  std::ostringstream out;
+  render(*this, out, 0);
+  return out.str();
+}
+
+Expr operator+(const Expr& a, const Expr& b) { return Expr::make(OpKind::Add, {a, b}); }
+Expr operator-(const Expr& a, const Expr& b) { return Expr::make(OpKind::Sub, {a, b}); }
+Expr operator*(const Expr& a, const Expr& b) { return Expr::make(OpKind::Mul, {a, b}); }
+Expr operator/(const Expr& a, const Expr& b) { return Expr::make(OpKind::Div, {a, b}); }
+Expr operator-(const Expr& a) { return Expr::make(OpKind::Neg, {a}); }
+
+Expr operator+(const Expr& a, double b) { return a + Expr::constant(b); }
+Expr operator+(double a, const Expr& b) { return Expr::constant(a) + b; }
+Expr operator-(const Expr& a, double b) { return a - Expr::constant(b); }
+Expr operator-(double a, const Expr& b) { return Expr::constant(a) - b; }
+Expr operator*(const Expr& a, double b) { return a * Expr::constant(b); }
+Expr operator*(double a, const Expr& b) { return Expr::constant(a) * b; }
+Expr operator/(const Expr& a, double b) { return a / Expr::constant(b); }
+Expr operator/(double a, const Expr& b) { return Expr::constant(a) / b; }
+
+Expr sqrt(const Expr& a) { return Expr::make(OpKind::Sqrt, {a}); }
+Expr sqr(const Expr& a) { return Expr::make(OpKind::Sqr, {a}); }
+Expr pow(const Expr& a, int n) {
+  return Expr::make(OpKind::Pow, {a}, 0.0, 0, n);
+}
+Expr exp(const Expr& a) { return Expr::make(OpKind::Exp, {a}); }
+Expr log(const Expr& a) { return Expr::make(OpKind::Log, {a}); }
+Expr abs(const Expr& a) { return Expr::make(OpKind::Abs, {a}); }
+Expr min(const Expr& a, const Expr& b) { return Expr::make(OpKind::Min, {a, b}); }
+Expr max(const Expr& a, const Expr& b) { return Expr::make(OpKind::Max, {a, b}); }
+
+namespace {
+
+void collect(const Expr& e, std::vector<VarId>& out) {
+  const Node& n = e.node();
+  if (n.kind == OpKind::Var) out.push_back(n.var);
+  for (const auto& c : n.children) collect(c, out);
+}
+
+}  // namespace
+
+std::vector<VarId> variablesOf(const Expr& e) {
+  std::vector<VarId> out;
+  collect(e, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool mentions(const Expr& e, VarId v) {
+  const Node& n = e.node();
+  if (n.kind == OpKind::Var && n.var == v) return true;
+  for (const auto& c : n.children) {
+    if (mentions(c, v)) return true;
+  }
+  return false;
+}
+
+std::size_t variableSpan(const Expr& e) {
+  std::size_t span = 0;
+  for (VarId v : variablesOf(e)) {
+    span = std::max(span, static_cast<std::size_t>(v) + 1);
+  }
+  return span;
+}
+
+}  // namespace adpm::expr

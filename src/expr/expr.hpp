@@ -1,0 +1,126 @@
+// Constraint expression trees.
+//
+// A design constraint in the paper is a relation c_i(a_i) over properties,
+// e.g. P_f + P_s <= P_M for a receiver power budget, or the non-linear gain
+// and resonator-frequency relations of the MEMS receiver case.  Expressions
+// here are immutable shared trees over variable indices; the constraint
+// module maps variables to properties.
+//
+// Expr values are cheap to copy (shared_ptr to an immutable node) and are
+// composed with ordinary C++ operators plus the named functions below:
+//
+//   Expr w = Expr::variable(0, "Diff-pair-W");
+//   Expr gain = Expr::constant(2.0) * sqrt(w) - Expr::constant(1.0) / w;
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace adpm::expr {
+
+/// Index of a variable in the owning constraint network's property table.
+using VarId = std::uint32_t;
+
+enum class OpKind : std::uint8_t {
+  Const,
+  Var,
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Neg,
+  Sqrt,
+  Sqr,
+  Pow,  // integer exponent
+  Exp,
+  Log,
+  Abs,
+  Min,
+  Max,
+};
+
+/// Number of children an operator takes (0, 1 or 2).
+int arity(OpKind kind) noexcept;
+
+/// Printable operator name ("add", "sqrt", ...).
+const char* opName(OpKind kind) noexcept;
+
+struct Node;
+
+/// Immutable expression handle.  A default-constructed Expr is invalid and
+/// must not be evaluated; `valid()` tests for this.
+class Expr {
+ public:
+  Expr() noexcept = default;
+
+  static Expr constant(double value);
+  static Expr variable(VarId id, std::string name = {});
+
+  bool valid() const noexcept { return node_ != nullptr; }
+  const Node& node() const;
+
+  OpKind kind() const;
+
+  /// Renders with variable names where present ("(x + 2) * y").
+  std::string str() const;
+
+  /// Structural equality (same shape, same constants/vars).
+  bool sameAs(const Expr& other) const noexcept;
+
+  // Internal factory used by the operator overloads below.
+  static Expr make(OpKind kind, std::vector<Expr> children, double value = 0.0,
+                   VarId var = 0, int exponent = 1, std::string name = {});
+
+ private:
+  std::shared_ptr<const Node> node_;
+};
+
+/// Expression tree node.  Nodes are immutable after construction.
+struct Node {
+  OpKind kind = OpKind::Const;
+  double value = 0.0;     // Const payload
+  VarId var = 0;          // Var payload
+  int exponent = 1;       // Pow payload
+  std::string name;       // Var display name (may be empty)
+  std::vector<Expr> children;
+};
+
+// -- composition -------------------------------------------------------------
+
+Expr operator+(const Expr& a, const Expr& b);
+Expr operator-(const Expr& a, const Expr& b);
+Expr operator*(const Expr& a, const Expr& b);
+Expr operator/(const Expr& a, const Expr& b);
+Expr operator-(const Expr& a);
+
+Expr operator+(const Expr& a, double b);
+Expr operator+(double a, const Expr& b);
+Expr operator-(const Expr& a, double b);
+Expr operator-(double a, const Expr& b);
+Expr operator*(const Expr& a, double b);
+Expr operator*(double a, const Expr& b);
+Expr operator/(const Expr& a, double b);
+Expr operator/(double a, const Expr& b);
+
+Expr sqrt(const Expr& a);
+Expr sqr(const Expr& a);
+Expr pow(const Expr& a, int n);
+Expr exp(const Expr& a);
+Expr log(const Expr& a);
+Expr abs(const Expr& a);
+Expr min(const Expr& a, const Expr& b);
+Expr max(const Expr& a, const Expr& b);
+
+/// Appends all variable ids occurring in `e` (deduplicated, ascending).
+std::vector<VarId> variablesOf(const Expr& e);
+
+/// True if variable `v` occurs anywhere in `e`.
+bool mentions(const Expr& e, VarId v);
+
+/// Largest variable id occurring in `e` plus one (0 for constant exprs);
+/// callers size their domain vectors with this.
+std::size_t variableSpan(const Expr& e);
+
+}  // namespace adpm::expr

@@ -1,0 +1,112 @@
+#include "expr/simplify.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace adpm::expr {
+
+namespace {
+
+bool isConst(const Expr& e, double value) {
+  return e.kind() == OpKind::Const && e.node().value == value;
+}
+
+bool isConst(const Expr& e) { return e.kind() == OpKind::Const; }
+
+double constOf(const Expr& e) { return e.node().value; }
+
+/// Folds an operator over constant children; children.size() matches arity.
+Expr fold(OpKind kind, int exponent, const std::vector<Expr>& children) {
+  auto c = [&](std::size_t i) { return constOf(children[i]); };
+  switch (kind) {
+    case OpKind::Add: return Expr::constant(c(0) + c(1));
+    case OpKind::Sub: return Expr::constant(c(0) - c(1));
+    case OpKind::Mul: return Expr::constant(c(0) * c(1));
+    case OpKind::Div: return Expr::constant(c(0) / c(1));
+    case OpKind::Neg: return Expr::constant(-c(0));
+    case OpKind::Sqrt: return Expr::constant(std::sqrt(c(0)));
+    case OpKind::Sqr: return Expr::constant(c(0) * c(0));
+    case OpKind::Pow: return Expr::constant(std::pow(c(0), exponent));
+    case OpKind::Exp: return Expr::constant(std::exp(c(0)));
+    case OpKind::Log: return Expr::constant(std::log(c(0)));
+    case OpKind::Abs: return Expr::constant(std::fabs(c(0)));
+    case OpKind::Min: return Expr::constant(std::min(c(0), c(1)));
+    case OpKind::Max: return Expr::constant(std::max(c(0), c(1)));
+    case OpKind::Const:
+    case OpKind::Var:
+      break;
+  }
+  return children.empty() ? Expr::constant(0.0) : children[0];
+}
+
+}  // namespace
+
+Expr simplify(const Expr& e) {
+  const Node& n = e.node();
+  if (n.kind == OpKind::Const || n.kind == OpKind::Var) return e;
+
+  // Simplify children first.
+  std::vector<Expr> children;
+  children.reserve(n.children.size());
+  bool childChanged = false;
+  for (const Expr& child : n.children) {
+    Expr s = simplify(child);
+    childChanged = childChanged || !s.sameAs(child);
+    children.push_back(std::move(s));
+  }
+
+  // Full constant folding (guard: folding must produce a finite value, so
+  // e.g. 1/0 or log(-1) stay symbolic and keep their interval semantics).
+  bool allConst = true;
+  for (const Expr& child : children) allConst = allConst && isConst(child);
+  if (allConst) {
+    const Expr folded = fold(n.kind, n.exponent, children);
+    if (std::isfinite(constOf(folded))) return folded;
+  }
+
+  // Identity rules.
+  switch (n.kind) {
+    case OpKind::Add:
+      if (isConst(children[0], 0.0)) return children[1];
+      if (isConst(children[1], 0.0)) return children[0];
+      break;
+    case OpKind::Sub:
+      if (isConst(children[1], 0.0)) return children[0];
+      if (isConst(children[0], 0.0)) {
+        return simplify(Expr::make(OpKind::Neg, {children[1]}));
+      }
+      break;
+    case OpKind::Mul:
+      if (isConst(children[0], 1.0)) return children[1];
+      if (isConst(children[1], 1.0)) return children[0];
+      if (isConst(children[0], 0.0) || isConst(children[1], 0.0)) {
+        return Expr::constant(0.0);
+      }
+      break;
+    case OpKind::Div:
+      if (isConst(children[1], 1.0)) return children[0];
+      // 0/x folds only when x is a constant != 0 (handled by allConst above)
+      // — a symbolic denominator might contain 0, where 0/x is not {0}.
+      break;
+    case OpKind::Neg:
+      if (children[0].kind() == OpKind::Neg) {
+        return children[0].node().children[0];
+      }
+      break;
+    case OpKind::Pow:
+      if (n.exponent == 0) return Expr::constant(1.0);
+      if (n.exponent == 1) return children[0];
+      if (n.exponent == 2) {
+        return Expr::make(OpKind::Sqr, {children[0]});
+      }
+      break;
+    default:
+      break;
+  }
+
+  if (!childChanged) return e;
+  return Expr::make(n.kind, std::move(children), n.value, n.var, n.exponent,
+                    n.name);
+}
+
+}  // namespace adpm::expr

@@ -1,0 +1,32 @@
+// Algebraic simplification of expression trees.
+//
+// Scenario builders and the DDDL parser compose expressions mechanically
+// (e.g. `0.15 * gain + 0.1 * bw + 0.0`), and generated scenarios multiply by
+// literal coefficients that may be 1 or 0.  Simplifying before compilation
+// shrinks the HC4 node count — every removed node is a removed projection in
+// every revise — without changing semantics.
+//
+// Rules applied (bottom-up, to a fixpoint locally):
+//   * constant folding of any operator over constant children,
+//   * x+0, 0+x, x-0, x*1, 1*x, x/1  ->  x
+//   * x*0, 0*x, 0/x                 ->  0      (note: sound for the interval
+//     semantics used here only because 0 * [a,b] = {0} under mulBound; the
+//     expression 0/x is folded to 0 only when x cannot contain 0 — otherwise
+//     it is preserved)
+//   * 0-x  ->  -x;  -(-x) -> x
+//   * x^0 -> 1, x^1 -> x, x^2 -> sqr(x)
+//   * sqr(const), sqrt(const), ... fold like other constants
+//
+// Simplification preserves point semantics exactly and interval semantics up
+// to (possible) tightening: a simplified expression never evaluates to a
+// *wider* interval than the original.
+#pragma once
+
+#include "expr/expr.hpp"
+
+namespace adpm::expr {
+
+/// Returns a semantically equivalent, structurally simplified expression.
+Expr simplify(const Expr& e);
+
+}  // namespace adpm::expr

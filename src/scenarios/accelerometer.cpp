@@ -1,0 +1,175 @@
+#include "scenarios/accelerometer.hpp"
+
+namespace adpm::scenarios {
+
+using constraint::Relation;
+using dpm::ScenarioSpec;
+using expr::Expr;
+using interval::Domain;
+
+dpm::ScenarioSpec accelerometerScenario(const AccelerometerConfig& config) {
+  ScenarioSpec s;
+  s.name = "mems-accelerometer";
+
+  s.addObject("system");
+  s.addObject("proof-mass", "system");
+  s.addObject("readout", "system");
+
+  // -- system requirements (5) --------------------------------------------------
+  const auto sensMin = s.addProperty("Sens-min", "system",
+                                     Domain::continuous(0.5, 20.0), "mV/g");
+  const auto noiseMax = s.addProperty("Noise-max", "system",
+                                      Domain::continuous(2.0, 50.0),
+                                      "ug/rtHz");
+  const auto bwMin = s.addProperty("BW-min", "system",
+                                   Domain::continuous(0.2, 10.0), "kHz");
+  const auto powerMax = s.addProperty("Power-max", "system",
+                                      Domain::continuous(2.0, 30.0), "mW");
+  const auto rangeMin = s.addProperty("Range-min", "system",
+                                      Domain::continuous(1.0, 100.0), "g");
+
+  // -- proof mass (10) ------------------------------------------------------------
+  const auto mass = s.addProperty("Mass-M", "proof-mass",
+                                  Domain::continuous(1.0, 50.0), "ug",
+                                  {"Device", "Geometry"});
+  const auto spring = s.addProperty("Spring-k", "proof-mass",
+                                    Domain::continuous(0.5, 20.0), "N/m",
+                                    {"Device", "Geometry"});
+  const auto gap = s.addProperty("Gap", "proof-mass",
+                                 Domain::continuous(1.0, 5.0), "um",
+                                 {"Device", "Geometry"});
+  const auto area = s.addProperty("Area-A", "proof-mass",
+                                  Domain::continuous(0.2, 4.0), "mm2",
+                                  {"Device", "Geometry"});
+  s.properties[area].preference = -1;  // die area is money
+  const auto fRes = s.addProperty("F-res", "proof-mass",
+                                  Domain::continuous(0.1, 50.0), "kHz",
+                                  {"Device"});
+  const auto cSense = s.addProperty("C-sense", "proof-mass",
+                                    Domain::continuous(0.3, 40.0), "pF",
+                                    {"Device"});
+  const auto dispSens = s.addProperty("Disp-sens", "proof-mass",
+                                      Domain::continuous(0.5, 1000.0), "nm/g");
+  const auto capSens = s.addProperty("Cap-sens", "proof-mass",
+                                     Domain::continuous(0.005, 40.0), "fF/g");
+  const auto rangeG = s.addProperty("Range-g", "proof-mass",
+                                    Domain::continuous(0.3, 3400.0), "g");
+  const auto noiseMech = s.addProperty("Noise-mech", "proof-mass",
+                                       Domain::continuous(0.5, 250.0),
+                                       "ug/rtHz");
+
+  // -- readout ASIC (5) -------------------------------------------------------------
+  const auto gainRo = s.addProperty("Gain-ro", "readout",
+                                    Domain::continuous(1.0, 50.0), "mV/fF",
+                                    {"Circuit"});
+  const auto bwRo = s.addProperty("BW-ro", "readout",
+                                  Domain::continuous(0.5, 50.0), "kHz",
+                                  {"Circuit"});
+  const auto powerRo = s.addProperty("Power-ro", "readout",
+                                     Domain::continuous(0.0, 15.0), "mW");
+  const auto noiseEl = s.addProperty("Noise-el", "readout",
+                                     Domain::continuous(0.01, 1.0), "fF");
+  const auto vbias = s.addProperty("V-bias", "readout",
+                                   Domain::continuous(1.0, 10.0), "V");
+  s.properties[vbias].preference = -1;  // bias voltage costs power/reliability
+
+  const auto P = [&](std::size_t i) { return s.pvar(i); };
+
+  // -- proof-mass models (6) ---------------------------------------------------------
+  // Resonance f = (1/2pi) sqrt(k/m), scaled to kHz for ug masses.
+  const auto cFres = s.addConstraint(
+      {"Fres-model", P(fRes), Relation::Eq,
+       5.03 * expr::sqrt(P(spring) / P(mass)), {}});
+  // Parallel-plate sense capacitance.
+  const auto cCsense = s.addConstraint(
+      {"Csense-model", P(cSense), Relation::Eq,
+       8.85 * P(area) / P(gap), {}});
+  // Static displacement per g.
+  const auto cDisp = s.addConstraint(
+      {"Disp-model", P(dispSens), Relation::Eq,
+       9.8 * P(mass) / P(spring), {}});
+  // Capacitance change per g, referred through the gap.
+  const auto cCap = s.addConstraint(
+      {"CapSens-model", P(capSens), Relation::Eq,
+       P(cSense) * P(dispSens) / (1000.0 * P(gap)), {}});
+  // Full-scale range: displacement stays under a third of the gap.
+  const auto cRange = s.addConstraint(
+      {"Range-model", P(rangeG), Relation::Eq,
+       1000.0 * P(gap) / (3.0 * P(dispSens)), {}});
+  // Brownian noise floor.
+  const auto cNoiseM = s.addConstraint(
+      {"NoiseMech-model", P(noiseMech), Relation::Eq,
+       50.0 * expr::sqrt(P(spring)) / P(mass), {}});
+
+  // -- readout models (2) ---------------------------------------------------------------
+  const auto cPowerRo = s.addConstraint(
+      {"PowerRo-model", P(powerRo), Relation::Eq,
+       0.15 * P(gainRo) + 0.1 * P(bwRo), {}});
+  const auto cNoiseEl = s.addConstraint(
+      {"NoiseEl-model", P(noiseEl), Relation::Eq,
+       0.8 / P(gainRo) + 0.02, {}});
+
+  // -- cross-subsystem specifications (6) --------------------------------------------------
+  const auto cSens2 = s.addConstraint(
+      {"Sens-spec", P(capSens) * P(gainRo), Relation::Ge, P(sensMin),
+       {{capSens, true}, {gainRo, true}, {sensMin, false}}});
+  const auto cNoise = s.addConstraint(
+      {"Noise-spec",
+       P(noiseMech) + 10.0 * P(noiseEl) / P(capSens), Relation::Le,
+       P(noiseMax),
+       {{noiseMech, false}, {noiseEl, false}, {capSens, true},
+        {noiseMax, true}}});
+  // System bandwidth is whichever of the mechanics and the electronics is
+  // slower.
+  const auto cBw = s.addConstraint(
+      {"BW-spec", expr::min(P(fRes), P(bwRo)), Relation::Ge, P(bwMin),
+       {{fRes, true}, {bwRo, true}, {bwMin, false}}});
+  const auto cPower = s.addConstraint(
+      {"Power-spec", P(powerRo) + 0.1 * P(vbias), Relation::Le, P(powerMax),
+       {{powerRo, false}, {vbias, false}, {powerMax, true}}});
+  const auto cRangeS = s.addConstraint(
+      {"Range-spec", P(rangeG), Relation::Ge, P(rangeMin),
+       {{rangeG, true}, {rangeMin, false}}});
+  // Electrostatic pull-in: the bias voltage the readout wants is capped by
+  // the mechanical gap.
+  const auto cPullIn = s.addConstraint(
+      {"PullIn-spec", P(vbias), Relation::Le, 2.0 + 3.0 * P(gap),
+       {{vbias, false}, {gap, true}}});
+
+  // -- problems --------------------------------------------------------------------------
+  const auto top = s.addProblem(
+      {"Accelerometer", "system", "team-leader",
+       {},
+       {sensMin, noiseMax, bwMin, powerMax, rangeMin},
+       {cSens2, cNoise, cBw, cPower, cRangeS, cPullIn},
+       std::nullopt, {}, true});
+  const auto memsProblem = s.addProblem(
+      {"ProofMass", "proof-mass", "mems-engineer",
+       {noiseMax, rangeMin, bwMin},
+       {mass, spring, gap, area, fRes, cSense, dispSens, capSens, rangeG,
+        noiseMech},
+       {cFres, cCsense, cDisp, cCap, cRange, cNoiseM},
+       top, {}, false});
+  const auto asicProblem = s.addProblem(
+      {"Readout", "readout", "asic-designer",
+       {sensMin, powerMax, bwMin},
+       {gainRo, bwRo, powerRo, noiseEl, vbias},
+       {cPowerRo, cNoiseEl},
+       top, {}, false});
+  for (const std::size_t ci :
+       {cFres, cCsense, cDisp, cCap, cRange, cNoiseM}) {
+    s.constraints[ci].generatedBy = memsProblem;
+  }
+  for (const std::size_t ci : {cPowerRo, cNoiseEl}) {
+    s.constraints[ci].generatedBy = asicProblem;
+  }
+
+  s.require(sensMin, config.sensMin);
+  s.require(noiseMax, config.noiseMax);
+  s.require(bwMin, config.bwMin);
+  s.require(powerMax, config.powerMax);
+  s.require(rangeMin, config.rangeMin);
+  return s;
+}
+
+}  // namespace adpm::scenarios

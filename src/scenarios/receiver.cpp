@@ -1,0 +1,299 @@
+#include "scenarios/receiver.hpp"
+
+namespace adpm::scenarios {
+
+using constraint::Relation;
+using dpm::ScenarioSpec;
+using expr::Expr;
+using interval::Domain;
+
+namespace {
+
+ScenarioSpec buildReceiver(const ReceiverConfig& config, bool largeTeam) {
+  ScenarioSpec s;
+  s.name = largeTeam ? "mems-wireless-receiver-4team"
+                     : "mems-wireless-receiver";
+
+  // With the larger team the analog front-end splits into two objects owned
+  // by different designers; their couplings then count as cross-subsystem.
+  const std::string lnaObj = largeTeam ? "LNA" : "LNA+Mixer";
+  const std::string mixObj = largeTeam ? "Mixer" : "LNA+Mixer";
+
+  s.addObject("system");
+  s.addObject(lnaObj, "system");
+  if (largeTeam) s.addObject(mixObj, "system");
+  s.addObject("MEMS-filter", "system");
+
+  // -- system requirements (7) --------------------------------------------------
+  const auto gainMin = s.addProperty("Gain-min", "system",
+                                     Domain::continuous(10, 45), "dB");
+  const auto pMax = s.addProperty("P-max", "system",
+                                  Domain::continuous(8, 60), "mW");
+  const auto zinNom = s.addProperty("Zin-max", "system",
+                                    Domain::continuous(25, 150), "Ohm");
+  const auto bwMin = s.addProperty("BW-min", "system",
+                                   Domain::continuous(40, 400), "kHz");
+  const auto bwMax = s.addProperty("BW-max", "system",
+                                   Domain::continuous(60, 600), "kHz");
+  const auto fTarget = s.addProperty("F-target", "system",
+                                     Domain::continuous(60, 300), "MHz");
+  const auto dfMax = s.addProperty("dF-max", "system",
+                                   Domain::continuous(40, 400), "kHz");
+
+  // -- analog front-end: LNA + mixer + deserializer (15) -------------------------
+  const auto wDiff = s.addProperty("Diff-pair-W", lnaObj,
+                                   Domain::continuous(0.5, 10.0), "um",
+                                   {"Transistor", "Geometry"});
+  const auto iBias = s.addProperty("I-bias", lnaObj,
+                                   Domain::continuous(0.1, 10.0), "mA",
+                                   {"Transistor"});
+  s.properties[iBias].preference = -1;  // bias current costs power
+  const auto lLoad = s.addProperty("Freq-ind", lnaObj,
+                                   Domain::continuous(0.05, 0.5), "uH",
+                                   {"Transistor", "Geometry"});
+  const auto gm = s.addProperty("gm", lnaObj,
+                                Domain::continuous(0.5, 45.0), "mS");
+  const auto qInd = s.addProperty("Q-ind", lnaObj,
+                                  Domain::continuous(5.0, 50.0), "");
+  const auto lnaGain = s.addProperty("LNA-gain", lnaObj,
+                                     Domain::continuous(5.0, 40.0), "dB",
+                                     {"Geometry"});
+  const auto lnaNf = s.addProperty("LNA-NF", lnaObj,
+                                   Domain::continuous(1.0, 12.0), "dB");
+  const auto lnaPower = s.addProperty("LNA-power", lnaObj,
+                                      Domain::continuous(0.0, 30.0), "mW",
+                                      {"Geometry"});
+  const auto lnaZin = s.addProperty("LNA-Zin", lnaObj,
+                                    Domain::continuous(20.0, 1200.0), "Ohm",
+                                    {"Geometry"});
+  const auto vLo = s.addProperty("V-LO", mixObj,
+                                 Domain::continuous(0.1, 1.2), "V");
+  const auto mixGain = s.addProperty("Mix-gain", mixObj,
+                                     Domain::continuous(0.0, 12.0), "dB");
+  const auto mixPower = s.addProperty("Mix-power", mixObj,
+                                      Domain::continuous(0.0, 4.0), "mW");
+  const auto ip3 = s.addProperty("LNA-IP3", lnaObj,
+                                 Domain::continuous(0.0, 35.0), "dBm");
+  const auto dataRate = s.addProperty("Data-rate", mixObj,
+                                      Domain::continuous(10.0, 400.0),
+                                      "ksym/s");
+  const auto pSer = s.addProperty("Deser-power", mixObj,
+                                  Domain::continuous(1.0, 15.0), "mW");
+
+  // -- MEMS channel-selection filter (13) -----------------------------------------
+  const auto beamL = s.addProperty("Beam-L", "MEMS-filter",
+                                   Domain::continuous(8.0, 25.0), "um",
+                                   {"Device", "Geometry"});
+  const auto beamW = s.addProperty("Beam-w", "MEMS-filter",
+                                   Domain::continuous(0.5, 4.0), "um",
+                                   {"Device", "Geometry"});
+  const auto beamT = s.addProperty("Beam-t", "MEMS-filter",
+                                   Domain::continuous(1.0, 4.0), "um",
+                                   {"Device", "Geometry"});
+  const auto nRes = s.addProperty("N-res", "MEMS-filter",
+                                  Domain::discrete({2, 3, 4, 5}), "");
+  const auto fC = s.addProperty("F-center", "MEMS-filter",
+                                Domain::continuous(10.0, 700.0), "MHz",
+                                {"Device"});
+  const auto qRes = s.addProperty("Q-res", "MEMS-filter",
+                                  Domain::continuous(200.0, 6500.0), "");
+  const auto fltBw = s.addProperty("Filter-BW", "MEMS-filter",
+                                   Domain::continuous(10.0, 2000.0), "kHz");
+  const auto insLoss = s.addProperty("Insertion-loss", "MEMS-filter",
+                                     Domain::continuous(0.5, 30.0), "dB");
+  const auto dfErr = s.addProperty("dF-err", "MEMS-filter",
+                                   Domain::continuous(5.0, 3000.0), "kHz");
+  const auto fltPower = s.addProperty("Filter-power", "MEMS-filter",
+                                      Domain::continuous(0.0, 3.0), "mW");
+  const auto vDrive = s.addProperty("V-drive", "MEMS-filter",
+                                    Domain::continuous(1.0, 20.0), "V");
+  const auto rMot = s.addProperty("R-motional", "MEMS-filter",
+                                  Domain::continuous(0.3, 110.0), "kOhm");
+  const auto fltArea = s.addProperty("Filter-area", "MEMS-filter",
+                                     Domain::continuous(0.05, 5.0), "mm2");
+
+  const auto P = [&](std::size_t i) { return s.pvar(i); };
+
+  // -- analog models & specs (12) --------------------------------------------------
+  const auto cGm = s.addConstraint(
+      {"Gm-model-C1", P(gm), Relation::Eq,
+       4.0 * expr::sqrt(P(wDiff) * P(iBias)), {}});
+  const auto cQind = s.addConstraint(
+      {"Qind-model-C2", P(qInd), Relation::Eq,
+       60.0 * P(lLoad) / (P(lLoad) + 0.2), {}});
+  const auto cLnaGain = s.addConstraint(
+      {"LNAGain-C10", P(lnaGain), Relation::Eq,
+       4.3 * expr::log(1.0 + P(gm) * P(qInd)), {}});
+  const auto cNf = s.addConstraint(
+      {"NF-model-C3", P(lnaNf), Relation::Eq, 1.5 + 6.0 / P(gm), {}});
+  const auto cLnaPower = s.addConstraint(
+      {"LNAPower-C7", P(lnaPower), Relation::Eq, 2.7 * P(iBias), {}});
+  const auto cZin = s.addConstraint(
+      {"Zin-model-C9", P(lnaZin), Relation::Eq, 1000.0 / P(gm), {}});
+  const auto cMixGain = s.addConstraint(
+      {"MixGain-C11", P(mixGain), Relation::Eq,
+       12.0 * P(vLo) / (P(vLo) + 0.4), {}});
+  const auto cMixPower = s.addConstraint(
+      {"MixPower-C12", P(mixPower), Relation::Eq,
+       1.8 * P(vLo) + 0.4, {}});
+  const auto cIp3 = s.addConstraint(
+      {"IP3-model-C14", P(ip3), Relation::Eq,
+       8.7 * expr::log(1.0 + 3.0 * P(iBias)), {}});
+  const auto cIp3Spec = s.addConstraint(
+      {"IP3-spec-C15", P(ip3), Relation::Ge, Expr::constant(5.0),
+       {{ip3, true}}});
+  const auto cNfSpec = s.addConstraint(
+      {"NF-spec-C16", P(lnaNf), Relation::Le, Expr::constant(4.0),
+       {{lnaNf, false}}});
+  const auto cSer = s.addConstraint(
+      {"Deser-model-C17", P(pSer), Relation::Eq,
+       3.0 + 0.02 * P(dataRate), {}});
+
+  // -- filter models & specs (10) ----------------------------------------------------
+  // Clamped-clamped beam: f0 ∝ t / L².
+  const auto cFc = s.addConstraint(
+      {"Fc-model-C3f", P(fC), Relation::Eq,
+       10300.0 * P(beamT) / expr::sqr(P(beamL)), {}});
+  const auto cQres = s.addConstraint(
+      {"Qres-model-C4f", P(qRes), Relation::Eq,
+       120.0 * P(beamL) / P(beamW), {}});
+  const auto cFltBw = s.addConstraint(
+      {"FilterBW-C5f", P(fltBw), Relation::Eq,
+       500.0 * P(nRes) * P(fC) / P(qRes), {}});
+  // The paper's DDDL example: loss decreasing in resonator length,
+  // increasing in beam width (via Q ∝ L/w).
+  const auto cLoss = s.addConstraint(
+      {"FilterLoss-C4", P(insLoss), Relation::Eq,
+       40.0 * P(nRes) / expr::sqrt(P(qRes)), {}});
+  const auto cDfErr = s.addConstraint(
+      {"dFerr-model-C6f", P(dfErr), Relation::Eq,
+       2.0 * P(fC) / P(beamW), {}});
+  const auto cFltPower = s.addConstraint(
+      {"FilterPower-C7f", P(fltPower), Relation::Eq,
+       0.1 * P(nRes) + 0.003 * expr::sqr(P(vDrive)), {}});
+  const auto cRm = s.addConstraint(
+      {"Rm-model-C8f", P(rMot), Relation::Eq,
+       50.0 / (P(vDrive) * P(beamW)), {}});
+  const auto cRmSpec = s.addConstraint(
+      {"Rm-spec-C9f", P(rMot), Relation::Le, Expr::constant(2.0),
+       {{rMot, false}}});
+  const auto cArea = s.addConstraint(
+      {"Area-model-C10f", P(fltArea), Relation::Eq,
+       0.01 * P(nRes) * P(beamL) * P(beamW), {}});
+  const auto cAreaSpec = s.addConstraint(
+      {"Area-spec-C11f", P(fltArea), Relation::Le, Expr::constant(2.5),
+       {{fltArea, false}}});
+
+  // -- cross-subsystem specifications (8) ----------------------------------------------
+  const auto cTotalGain = s.addConstraint(
+      {"TotalGain-C13", P(lnaGain) + P(mixGain) - P(insLoss), Relation::Ge,
+       P(gainMin),
+       {{lnaGain, true}, {mixGain, true}, {insLoss, false}, {gainMin, false}}});
+  const auto cPowerSpec = s.addConstraint(
+      {"Power-spec-C18",
+       P(lnaPower) + P(mixPower) + P(fltPower) + P(pSer), Relation::Le,
+       P(pMax),
+       {{lnaPower, false}, {mixPower, false}, {fltPower, false},
+        {pSer, false}, {pMax, true}}});
+  const auto cZinSpec = s.addConstraint(
+      {"Zin-spec-C19", P(lnaZin), Relation::Le, P(zinNom),
+       {{lnaZin, false}, {zinNom, true}}});
+  const auto cBwLo = s.addConstraint(
+      {"BW-lo-spec-C20", P(fltBw), Relation::Ge, P(bwMin),
+       {{fltBw, true}}});
+  const auto cBwHi = s.addConstraint(
+      {"BW-hi-spec-C21", P(fltBw), Relation::Le, P(bwMax),
+       {{fltBw, false}}});
+  const auto cFcSpec = s.addConstraint(
+      {"Fc-spec-C22", expr::abs(P(fC) - P(fTarget)), Relation::Le,
+       Expr::constant(8.0), {}});
+  const auto cDfSpec = s.addConstraint(
+      {"dF-spec-C23", P(dfErr), Relation::Le, P(dfMax),
+       {{dfErr, false}}});
+  const auto cCap = s.addConstraint(
+      {"Capacity-spec-C24", P(dataRate), Relation::Le, 1.6 * P(fltBw),
+       {{dataRate, false}, {fltBw, true}}});
+
+  // -- problems ---------------------------------------------------------------------
+  const auto top = s.addProblem(
+      {"Receiver", "system", "team-leader",
+       {},
+       {gainMin, pMax, zinNom, bwMin, bwMax, fTarget, dfMax},
+       {cTotalGain, cPowerSpec, cZinSpec, cBwLo, cBwHi, cFcSpec, cDfSpec,
+        cCap},
+       std::nullopt, {}, true});
+  // Children start deferred; the leader's decomposition operation releases
+  // them and the DPM then generates their internal model constraints
+  // (paper §2.2: "this DPM also generates any necessary constraints"), so
+  // the network grows from the 8 requirements "up to 30 constraints".
+  if (largeTeam) {
+    const auto lnaProblem = s.addProblem(
+        {"LNA", lnaObj, "lna-designer",
+         {gainMin, pMax, zinNom},
+         {wDiff, iBias, lLoad, gm, qInd, lnaGain, lnaNf, lnaPower,
+          lnaZin, ip3},
+         {cGm, cQind, cLnaGain, cNf, cLnaPower, cZin, cIp3,
+          cIp3Spec, cNfSpec},
+         top, {}, false});
+    const auto mixerProblem = s.addProblem(
+        {"Mixer", mixObj, "mixer-designer",
+         {gainMin, pMax},
+         {vLo, mixGain, mixPower, dataRate, pSer},
+         {cMixGain, cMixPower, cSer},
+         top, {}, false});
+    for (const std::size_t ci : {cGm, cQind, cLnaGain, cNf, cLnaPower, cZin,
+                                 cIp3, cIp3Spec, cNfSpec}) {
+      s.constraints[ci].generatedBy = lnaProblem;
+    }
+    for (const std::size_t ci : {cMixGain, cMixPower, cSer}) {
+      s.constraints[ci].generatedBy = mixerProblem;
+    }
+  } else {
+    const auto analogProblem = s.addProblem(
+        {"Analog", lnaObj, "circuit-designer",
+         {gainMin, pMax, zinNom},
+         {wDiff, iBias, lLoad, gm, qInd, lnaGain, lnaNf, lnaPower,
+          lnaZin, vLo, mixGain, mixPower, ip3, dataRate, pSer},
+         {cGm, cQind, cLnaGain, cNf, cLnaPower, cZin, cMixGain,
+          cMixPower, cIp3, cIp3Spec, cNfSpec, cSer},
+         top, {}, false});
+    for (const std::size_t ci : {cGm, cQind, cLnaGain, cNf, cLnaPower, cZin,
+                                 cMixGain, cMixPower, cIp3, cIp3Spec,
+                                 cNfSpec, cSer}) {
+      s.constraints[ci].generatedBy = analogProblem;
+    }
+  }
+  const auto filterProblem = s.addProblem(
+      {"Filter", "MEMS-filter", "device-engineer",
+       {fTarget, bwMin, bwMax, dfMax},
+       {beamL, beamW, beamT, nRes, fC, qRes, fltBw, insLoss, dfErr,
+        fltPower, vDrive, rMot, fltArea},
+       {cFc, cQres, cFltBw, cLoss, cDfErr, cFltPower, cRm, cRmSpec,
+        cArea, cAreaSpec},
+       top, {}, false});
+  for (const std::size_t ci : {cFc, cQres, cFltBw, cLoss, cDfErr, cFltPower,
+                               cRm, cRmSpec, cArea, cAreaSpec}) {
+    s.constraints[ci].generatedBy = filterProblem;
+  }
+
+  s.require(gainMin, config.gainMin);
+  s.require(pMax, config.powerMax);
+  s.require(zinNom, config.zinMax);
+  s.require(bwMin, config.bwMin);
+  s.require(bwMax, config.bwMax);
+  s.require(fTarget, config.fTarget);
+  s.require(dfMax, config.dfMax);
+  return s;
+}
+
+}  // namespace
+
+dpm::ScenarioSpec receiverScenario(const ReceiverConfig& config) {
+  return buildReceiver(config, /*largeTeam=*/false);
+}
+
+dpm::ScenarioSpec receiverLargeTeamScenario(const ReceiverConfig& config) {
+  return buildReceiver(config, /*largeTeam=*/true);
+}
+
+}  // namespace adpm::scenarios

@@ -1,0 +1,205 @@
+#include "scenarios/sensing.hpp"
+
+namespace adpm::scenarios {
+
+using constraint::Relation;
+using dpm::ScenarioSpec;
+using expr::Expr;
+using interval::Domain;
+
+dpm::ScenarioSpec sensingSystemScenario(const SensingConfig& config) {
+  ScenarioSpec s;
+  s.name = "pressure-sensing-system";
+
+  s.addObject("system");
+  s.addObject("sensor", "system");
+  s.addObject("interface", "system");
+
+  // -- system requirements (frozen at initialisation) --------------------------
+  const auto resMax = s.addProperty("Res-max", "system",
+                                    Domain::continuous(0.01, 0.5), "kPa");
+  const auto rangeMin = s.addProperty("Range-min", "system",
+                                      Domain::continuous(50, 1000), "kPa");
+  const auto yieldMin = s.addProperty("Yield-min", "system",
+                                      Domain::continuous(50, 95), "%");
+  const auto powerMax = s.addProperty("Power-max", "system",
+                                      Domain::continuous(5, 60), "mW");
+
+  // -- capacitive pressure sensor ----------------------------------------------
+  const auto membA = s.addProperty("Memb-A", "sensor",
+                                   Domain::continuous(0.5, 4.0), "mm2",
+                                   {"Device", "Geometry"});
+  const auto membT = s.addProperty("Memb-t", "sensor",
+                                   Domain::continuous(2.0, 20.0), "um",
+                                   {"Device", "Geometry"});
+  const auto gapG = s.addProperty("Gap-g", "sensor",
+                                  Domain::continuous(0.5, 5.0), "um",
+                                  {"Device", "Geometry"});
+  const auto c0 = s.addProperty("C0", "sensor",
+                                Domain::continuous(0.5, 80.0), "pF",
+                                {"Device"});
+  const auto sSens = s.addProperty("S-sens", "sensor",
+                                   Domain::continuous(0.1, 130.0), "fF/kPa",
+                                   {"Device"});
+  const auto pTouch = s.addProperty("P-touch", "sensor",
+                                    Domain::continuous(20.0, 25000.0), "kPa",
+                                    {"Device"});
+  const auto sensYield = s.addProperty("Sens-yield", "sensor",
+                                       Domain::continuous(0.0, 100.0), "%");
+  const auto sensNoise = s.addProperty("Sens-noise", "sensor",
+                                       Domain::continuous(0.0, 3.0), "fF");
+  const auto membStress = s.addProperty("Memb-stress", "sensor",
+                                        Domain::continuous(0.0, 2100.0), "MPa");
+  const auto biasPower = s.addProperty("Bias-power", "sensor",
+                                       Domain::continuous(0.0, 10.0), "mW");
+  const auto sensLin = s.addProperty("Sens-lin", "sensor",
+                                     Domain::continuous(0.1, 6.0), "%FS");
+
+  // -- mixed-signal interface circuit ------------------------------------------
+  const auto ampGain = s.addProperty("Amp-gain", "interface",
+                                     Domain::continuous(1.0, 100.0), "",
+                                     {"Circuit"});
+  const auto ampBw = s.addProperty("Amp-BW", "interface",
+                                   Domain::continuous(1.0, 100.0), "kHz",
+                                   {"Circuit"});
+  const auto ampPower = s.addProperty("Amp-power", "interface",
+                                      Domain::continuous(0.0, 40.0), "mW");
+  const auto adcBits = s.addProperty("ADC-bits", "interface",
+                                     Domain::discrete({8, 10, 12, 14, 16}),
+                                     "bit");
+  const auto adcPower = s.addProperty("ADC-power", "interface",
+                                      Domain::continuous(0.0, 15.0), "mW");
+  const auto adcNoise = s.addProperty("ADC-noise", "interface",
+                                      Domain::continuous(0.0, 5.0), "fF");
+  const auto circNoise = s.addProperty("Circ-noise", "interface",
+                                       Domain::continuous(0.0, 6.0), "fF");
+  const auto sampleRate = s.addProperty("Sample-rate", "interface",
+                                        Domain::continuous(1.0, 400.0), "kHz");
+  const auto circPower = s.addProperty("Circ-power", "interface",
+                                       Domain::continuous(0.0, 55.0), "mW");
+  const auto vref = s.addProperty("Vref", "interface",
+                                  Domain::continuous(1.0, 3.3), "V");
+  const auto ampOffset = s.addProperty("Amp-offset", "interface",
+                                       Domain::continuous(0.1, 50.0), "mV");
+
+  const auto P = [&](std::size_t i) { return s.pvar(i); };
+
+  // -- sensor models (parallel-plate first-order equations) --------------------
+  // C0 = eps * A / g (scaled).
+  const auto cC0 = s.addConstraint(
+      {"C0-model", P(c0), Relation::Eq, 9.0 * P(membA) / P(gapG), {}});
+  // Sensitivity rises with area, falls with gap and thickness.
+  const auto cSens = s.addConstraint(
+      {"S-model", P(sSens), Relation::Eq,
+       30.0 * P(membA) / (P(gapG) * P(membT)), {}});
+  // Touch (collapse) pressure: stiffer, larger-gap, smaller membranes touch
+  // later.
+  const auto cTouch = s.addConstraint(
+      {"Ptouch-model", P(pTouch), Relation::Eq,
+       120.0 * P(membT) * P(gapG) / P(membA), {}});
+  // Yield degrades for narrow gaps and thin membranes.
+  const auto cYield = s.addConstraint(
+      {"Yield-model", P(sensYield), Relation::Eq,
+       98.0 - 8.0 / P(gapG) - 30.0 / P(membT), {}});
+  // Sensor noise floor grows with capacitance.
+  const auto cNoise = s.addConstraint(
+      {"SensNoise-model", P(sensNoise), Relation::Eq,
+       0.02 * P(c0) + 0.05, {}});
+  // Peak membrane stress.
+  const auto cStressM = s.addConstraint(
+      {"Stress-model", P(membStress), Relation::Eq,
+       2000.0 * P(membA) / expr::sqr(P(membT)), {}});
+  const auto cStressS = s.addConstraint(
+      {"Stress-spec", P(membStress), Relation::Le, Expr::constant(300.0),
+       {{membStress, false}}});
+  // Sensor bias power follows capacitance.
+  const auto cBias = s.addConstraint(
+      {"Bias-model", P(biasPower), Relation::Eq, 0.05 * P(c0) + 0.2, {}});
+  // Linearity error (its narrow range doubles as the spec).
+  const auto cLin = s.addConstraint(
+      {"Lin-model", P(sensLin), Relation::Eq,
+       1.5 * P(membA) / P(gapG), {}});
+
+  // -- interface models ---------------------------------------------------------
+  const auto cAmpP = s.addConstraint(
+      {"AmpPower-model", P(ampPower), Relation::Eq,
+       0.2 * P(ampGain) + 0.15 * P(ampBw), {}});
+  const auto cAdcP = s.addConstraint(
+      {"AdcPower-model", P(adcPower), Relation::Eq,
+       0.4 * P(adcBits) + 0.02 * P(sampleRate), {}});
+  const auto cAdcN = s.addConstraint(
+      {"AdcNoise-model", P(adcNoise), Relation::Eq,
+       80.0 * P(vref) / expr::sqr(P(adcBits)), {}});
+  const auto cCircN = s.addConstraint(
+      {"CircNoise-model", P(circNoise), Relation::Eq,
+       P(adcNoise) / P(ampGain) + 0.05, {}});
+  const auto cNyq = s.addConstraint(
+      {"Nyquist", P(sampleRate), Relation::Ge, 4.0 * P(ampBw),
+       {{sampleRate, true}, {ampBw, false}}});
+  const auto cVref = s.addConstraint(
+      {"Vref-min", P(vref), Relation::Ge, Expr::constant(1.2),
+       {{vref, true}}});
+  const auto cCircP = s.addConstraint(
+      {"CircPower-model", P(circPower), Relation::Eq,
+       P(ampPower) + P(adcPower), {}});
+  const auto cOffset = s.addConstraint(
+      {"Offset-model", P(ampOffset), Relation::Eq, 50.0 / P(ampGain), {}});
+
+  // -- cross-subsystem specifications ------------------------------------------
+  const auto cRes = s.addConstraint(
+      {"Resolution-spec",
+       (P(sensNoise) + P(circNoise)) / P(sSens), Relation::Le, P(resMax),
+       {{sSens, true}, {sensNoise, false}, {circNoise, false}}});
+  const auto cRange = s.addConstraint(
+      {"Range-spec", 0.8 * P(pTouch), Relation::Ge, P(rangeMin),
+       {{pTouch, true}}});
+  const auto cYieldS = s.addConstraint(
+      {"Yield-spec", P(sensYield), Relation::Ge, P(yieldMin),
+       {{sensYield, true}}});
+  const auto cPower = s.addConstraint(
+      {"Power-spec", P(biasPower) + P(circPower), Relation::Le, P(powerMax),
+       {{biasPower, false}, {circPower, false}}});
+
+  // -- problems ------------------------------------------------------------------
+  // Children start deferred and are released by the team leader's
+  // decomposition operation; their internal model constraints are
+  // *generated* by the DPM at that point (paper §2.2), so the constraint
+  // network grows from the 4 top-level requirements "up to 21 constraints".
+  const auto top = s.addProblem(
+      {"System", "system", "team-leader",
+       {},
+       {resMax, rangeMin, yieldMin, powerMax},
+       {cRes, cRange, cYieldS, cPower},
+       std::nullopt, {}, true});
+  const auto sensorProblem = s.addProblem(
+      {"Sensor", "sensor", "device-engineer",
+       {resMax, rangeMin, yieldMin},
+       {membA, membT, gapG, c0, sSens, pTouch, sensYield, sensNoise,
+        membStress, biasPower, sensLin},
+       {cC0, cSens, cTouch, cYield, cNoise, cStressM, cStressS,
+        cBias, cLin},
+       top, {}, false});
+  const auto interfaceProblem = s.addProblem(
+      {"Interface", "interface", "circuit-designer",
+       {resMax, powerMax},
+       {ampGain, ampBw, ampPower, adcBits, adcPower, adcNoise,
+        circNoise, sampleRate, circPower, vref, ampOffset},
+       {cAmpP, cAdcP, cAdcN, cCircN, cNyq, cVref, cCircP, cOffset},
+       top, {}, false});
+  for (const std::size_t ci : {cC0, cSens, cTouch, cYield, cNoise, cStressM,
+                               cStressS, cBias, cLin}) {
+    s.constraints[ci].generatedBy = sensorProblem;
+  }
+  for (const std::size_t ci : {cAmpP, cAdcP, cAdcN, cCircN, cNyq, cVref,
+                               cCircP, cOffset}) {
+    s.constraints[ci].generatedBy = interfaceProblem;
+  }
+
+  s.require(resMax, config.resolutionMax);
+  s.require(rangeMin, config.rangeMin);
+  s.require(yieldMin, config.yieldMin);
+  s.require(powerMax, config.powerMax);
+  return s;
+}
+
+}  // namespace adpm::scenarios

@@ -1,0 +1,159 @@
+#include "scenarios/walkthrough.hpp"
+
+#include "util/error.hpp"
+
+namespace adpm::scenarios {
+
+using constraint::Relation;
+using dpm::ScenarioSpec;
+using expr::Expr;
+using interval::Domain;
+
+dpm::ScenarioSpec walkthroughScenario() {
+  ScenarioSpec s;
+  s.name = "receiver-walkthrough";
+
+  s.addObject("system");
+  s.addObject("LNA+Mixer", "system");
+  s.addObject("MEMS-filter", "system");
+
+  // Requirements.
+  const auto minGain = s.addProperty("Min-gain", "system",
+                                     Domain::continuous(30, 60), "dB");
+  const auto maxPower = s.addProperty("Max-power", "system",
+                                      Domain::continuous(100, 300), "mW");
+  const auto maxZin = s.addProperty("Max-Zin", "system",
+                                    Domain::continuous(20, 80), "Ohm");
+
+  // LNA + mixer.
+  const auto diffPairW = s.addProperty("Diff-pair-W", "LNA+Mixer",
+                                       Domain::continuous(2.0, 6.0), "um",
+                                       {"Transistor", "Geometry"});
+  s.properties[diffPairW].preference = -1;  // smaller pair -> less power
+  const auto freqInd = s.addProperty("Freq-ind", "LNA+Mixer",
+                                     Domain::continuous(0.05, 2.0), "uH",
+                                     {"Transistor", "Geometry"});
+  const auto lnaGain = s.addProperty("LNA-gain", "LNA+Mixer",
+                                     Domain::continuous(0, 300), "",
+                                     {"Geometry"});
+  const auto lnaPower = s.addProperty("LNA-power", "LNA+Mixer",
+                                      Domain::continuous(0, 400), "mW",
+                                      {"Geometry"});
+  const auto lnaZin = s.addProperty("LNA-Zin", "LNA+Mixer",
+                                    Domain::continuous(10, 200), "Ohm",
+                                    {"Geometry"});
+
+  // MEMS filter.
+  const auto beamLength = s.addProperty("Beam-length", "MEMS-filter",
+                                        Domain::continuous(8, 20), "um",
+                                        {"Device", "Geometry"});
+  const auto centerFreq = s.addProperty("Center-freq", "MEMS-filter",
+                                        Domain::continuous(50, 330), "MHz",
+                                        {"Device"});
+  const auto insertionLoss = s.addProperty("Insertion-loss", "MEMS-filter",
+                                           Domain::continuous(5, 35), "dB",
+                                           {"Device"});
+
+  const auto P = [&](std::size_t i) { return s.pvar(i); };
+
+  // LNA models: tuned-load gain, power, 1/gm input impedance.  Coefficients
+  // put the propagated windows where the paper's Fig. 2 shows them:
+  // Diff-pair-W consistent ≈ [2.5, 3.70] (impedance floor, power ceiling),
+  // Freq-ind consistent ≈ [0.174, 0.5] (gain floor, inductor cap).
+  const auto cGain = s.addConstraint(
+      {"LNAGain-C10", P(lnaGain), Relation::Eq,
+       104.0 * P(diffPairW) * P(freqInd), {}});
+  const auto cPower = s.addConstraint(
+      {"LNAPower-C7", P(lnaPower), Relation::Eq,
+       54.08 * P(diffPairW), {}});
+  const auto cZin = s.addConstraint(
+      {"LNAZin-C12", P(lnaZin), Relation::Eq, 125.0 / P(diffPairW), {}});
+  // Specs on the LNA side.
+  const auto cMaxPower = s.addConstraint(
+      {"MaxPower-C8", P(lnaPower), Relation::Le, P(maxPower),
+       {{lnaPower, false}}});
+  // The impedance spec constrains the pair width directly (1/gm matching),
+  // exactly as the paper's Fig. 3 lists Diff-pair-W among the impedance
+  // constraint's arguments.
+  const auto cZinSpec = s.addConstraint(
+      {"LNA-Zin-C9", 125.0 / P(diffPairW), Relation::Le, P(maxZin),
+       {{diffPairW, true}}});
+  const auto cMaxInd = s.addConstraint(
+      {"MaxInd-C6", P(freqInd), Relation::Le, Expr::constant(0.5),
+       {{freqInd, false}}});
+
+  // MEMS filter models: clamped-beam frequency (thickness folded into the
+  // coefficient), loss falling with beam length.
+  const auto cFc = s.addConstraint(
+      {"FilterFc-C3", P(centerFreq), Relation::Eq,
+       20600.0 / expr::sqr(P(beamLength)), {}});
+  const auto cLoss = s.addConstraint(
+      {"FilterLoss-C4", P(insertionLoss), Relation::Eq,
+       248.6 / P(beamLength), {{beamLength, false}}});
+  const auto cFcTarget = s.addConstraint(
+      {"FcTarget-C5", expr::abs(P(centerFreq) - 122.0), Relation::Le,
+       Expr::constant(3.0), {}});
+
+  // The global gain requirement ties both subsystems together; it reads the
+  // LNA gain straight off the sizing model so Diff-pair-W is an argument
+  // (the paper's alpha(Diff-pair-W) = 2 comes from this constraint plus the
+  // impedance spec).
+  const auto cTotalGain = s.addConstraint(
+      {"TotalGain-C13",
+       104.0 * P(diffPairW) * P(freqInd) - P(insertionLoss), Relation::Ge,
+       P(minGain),
+       {{diffPairW, true}, {freqInd, true}, {insertionLoss, false}}});
+
+  const auto top = s.addProblem(
+      {"Transceiver", "system", "team-leader",
+       {},
+       {minGain, maxPower, maxZin},
+       {cTotalGain, cMaxPower, cZinSpec},
+       std::nullopt, {}, true});
+  s.addProblem({"LNA+Mixer-design", "LNA+Mixer", "circuit-designer",
+                {minGain, maxPower, maxZin},
+                {diffPairW, freqInd, lnaGain, lnaPower, lnaZin},
+                {cGain, cPower, cZin, cMaxInd},
+                top, {}, true});
+  s.addProblem({"Filter-design", "MEMS-filter", "device-engineer",
+                {minGain},
+                {beamLength, centerFreq, insertionLoss},
+                {cFc, cLoss, cFcTarget},
+                top, {}, true});
+
+  s.require(minGain, 48.0);
+  s.require(maxPower, 200.0);
+  s.require(maxZin, 50.0);
+  return s;
+}
+
+WalkthroughIds walkthroughIds(const dpm::ScenarioSpec& spec) {
+  auto prop = [&](const char* name) {
+    const auto i = spec.propertyIndex(name);
+    if (!i) throw adpm::InvalidArgumentError(std::string("missing ") + name);
+    return *i;
+  };
+  auto prob = [&](const char* name) {
+    const auto i = spec.problemIndex(name);
+    if (!i) throw adpm::InvalidArgumentError(std::string("missing ") + name);
+    return *i;
+  };
+  WalkthroughIds ids{};
+  ids.minGain = prop("Min-gain");
+  ids.maxPower = prop("Max-power");
+  ids.maxZin = prop("Max-Zin");
+  ids.diffPairW = prop("Diff-pair-W");
+  ids.freqInd = prop("Freq-ind");
+  ids.lnaGain = prop("LNA-gain");
+  ids.lnaPower = prop("LNA-power");
+  ids.lnaZin = prop("LNA-Zin");
+  ids.beamLength = prop("Beam-length");
+  ids.centerFreq = prop("Center-freq");
+  ids.insertionLoss = prop("Insertion-loss");
+  ids.topProblem = prob("Transceiver");
+  ids.lnaProblem = prob("LNA+Mixer-design");
+  ids.filterProblem = prob("Filter-design");
+  return ids;
+}
+
+}  // namespace adpm::scenarios

@@ -1,0 +1,115 @@
+// The simulated designer model (paper, Section 3.1.1 and Fig. 6).
+//
+// "A designer is viewed as a state-based system whose goal is to solve
+// design problems. ... The process whereby each designer chooses an
+// operation can be seen as the application of an operation selection
+// function f_o on the internal state; f_o can be viewed as the composition
+// of three functions f_p (problem selection), f_a (target property
+// selection), and f_v (value selection)."
+//
+// The designer's internal state is fed by what the DPM/NM surface: with ADPM
+// that includes the mined guidance (v_F, α, β, monotone lists); with the
+// conventional flow only verification verdicts (and the designer's own
+// discipline knowledge — declared monotonicity from DDDL).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "dpm/manager.hpp"
+#include "teamsim/options.hpp"
+#include "util/rng.hpp"
+
+namespace adpm::teamsim {
+
+class SimulatedDesigner {
+ public:
+  SimulatedDesigner(std::string name, const SimulationOptions& options,
+                    std::uint64_t seed);
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// One decision step: f_o = f_v ∘ f_a ∘ f_p over the current state.
+  /// Returns nullopt when the designer has nothing to do (all assigned
+  /// problems solved and no known violations touching their properties).
+  std::optional<dpm::Operation> nextOperation(dpm::DesignProcessManager& dpm);
+
+  /// Called by the engine after an operation executed, so the designer can
+  /// update adaptive repair state and the failure history.
+  void observe(dpm::DesignProcessManager& dpm,
+               const dpm::OperationRecord& record);
+
+ private:
+  struct RepairState {
+    int direction = 0;    // last repair direction for this property
+    double step = 0.0;    // current adaptive step size
+    /// Repairs attempted on this property since its violations last
+    /// cleared; candidates that keep failing rotate to the back so other
+    /// knobs get tried.
+    int attempts = 0;
+  };
+
+  // f_p: addressable problems (assigned, not Waiting/Unassigned).
+  std::vector<dpm::ProblemId> selectProblems(
+      const dpm::DesignProcessManager& dpm) const;
+
+  // Known violated constraints that touch a property this designer can move.
+  struct RepairCandidate {
+    constraint::PropertyId property{};
+    int alpha = 0;          // violations connected to the property
+    int votesUp = 0;        // violated constraints an increase would help
+    int votesDown = 0;
+    constraint::ConstraintId trigger{};  // representative violation
+    bool crossTrigger = false;
+    /// ADPM only: rebinding this property inside its what-if feasible window
+    /// can actually resolve conflicts.  Candidates whose window is empty
+    /// (the conflict cannot be fixed by this property alone, given the rest
+    /// of the state) rank last — this is exactly the "infeasible subspace"
+    /// guidance of §2.3.1 applied to repair.
+    bool fixableInWindow = true;
+    /// A violated equality model determines this property outright ("read
+    /// the value off the tool").  Such consistency restorations are cheap
+    /// and always correct, so they are done before judging specs against
+    /// stale derived values.
+    bool modelSolvable = false;
+  };
+  std::vector<RepairCandidate> repairCandidates(
+      dpm::DesignProcessManager& dpm,
+      const std::vector<dpm::ProblemId>& problems);
+
+  std::optional<dpm::Operation> makeRepair(
+      dpm::DesignProcessManager& dpm,
+      const std::vector<dpm::ProblemId>& problems);
+  std::optional<dpm::Operation> makeBinding(
+      dpm::DesignProcessManager& dpm,
+      const std::vector<dpm::ProblemId>& problems);
+  std::optional<dpm::Operation> makeVerification(
+      dpm::DesignProcessManager& dpm,
+      const std::vector<dpm::ProblemId>& problems);
+  /// Post-completion improvement: nudge a preferred free variable toward its
+  /// economical end if every constraint stays satisfied.
+  std::optional<dpm::Operation> makeOptimization(
+      dpm::DesignProcessManager& dpm,
+      const std::vector<dpm::ProblemId>& problems);
+
+  /// f_v for a fresh binding.
+  double chooseBindingValue(dpm::DesignProcessManager& dpm,
+                            constraint::PropertyId pid);
+  /// f_v for a repair move.
+  double chooseRepairValue(dpm::DesignProcessManager& dpm,
+                           const RepairCandidate& candidate);
+
+  /// Which problem (owned by this designer) outputs the property.
+  std::optional<dpm::ProblemId> problemForProperty(
+      const dpm::DesignProcessManager& dpm, constraint::PropertyId pid,
+      const std::vector<dpm::ProblemId>& problems) const;
+
+  std::string name_;
+  SimulationOptions options_;  // by value: designers outlive engine moves
+  util::Rng rng_;
+  std::map<constraint::PropertyId, RepairState> repair_;
+  std::size_t optimizationMoves_ = 0;
+};
+
+}  // namespace adpm::teamsim

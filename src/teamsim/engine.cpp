@@ -1,0 +1,85 @@
+#include "teamsim/engine.hpp"
+
+#include "util/rng.hpp"
+
+namespace adpm::teamsim {
+
+SimulationEngine::SimulationEngine(const dpm::ScenarioSpec& spec,
+                                   SimulationOptions options)
+    : options_(options),
+      dpm_(std::make_unique<dpm::DesignProcessManager>(
+          options.managerOptions())) {
+  dpm::instantiate(spec, *dpm_);
+  // Evaluate the initial state so ADPM designers have guidance from the
+  // first operation on (part of ADPM's computational cost).
+  dpm_->bootstrap();
+  bootstrapEvals_ = dpm_->network().evaluationCount();
+
+  // Deterministic per-designer streams derived from the run seed.
+  std::uint64_t seedState = options_.seed;
+  for (const std::string& name : dpm_->designers()) {
+    designers_.emplace_back(name, options_, util::splitmix64(seedState));
+  }
+}
+
+bool SimulationEngine::step() {
+  if (designers_.empty()) return false;
+  for (std::size_t k = 0; k < designers_.size(); ++k) {
+    const std::size_t di = (nextDesigner_ + k) % designers_.size();
+    SimulatedDesigner& designer = designers_[di];
+    std::optional<dpm::Operation> op = designer.nextOperation(*dpm_);
+    if (!op) continue;
+
+    const dpm::DesignProcessManager::ExecResult result =
+        dpm_->execute(std::move(*op));
+    designer.observe(*dpm_, result.record);
+    notifications_ += result.notifications.size();
+
+    if (result.record.spin) ++spins_;
+    violationsFoundTotal_ += result.record.violationsFound.size();
+
+    OpStat stat;
+    stat.opIndex = result.record.stage;
+    stat.designer = result.record.op.designer;
+    stat.kind = result.record.op.kind;
+    stat.assignments = result.record.op.assignments.size();
+    stat.violationsFound = result.record.violationsFound.size();
+    stat.violationsKnown = result.record.violationsKnownAfter;
+    stat.evaluations = result.record.evaluations;
+    stat.cumulativeEvaluations = dpm_->network().evaluationCount();
+    stat.spin = result.record.spin;
+    stat.cumulativeSpins = spins_;
+    stat.constraintsTotal = dpm_->network().activeConstraintCount();
+    trace_.push_back(std::move(stat));
+
+    nextDesigner_ = (di + 1) % designers_.size();
+    return true;
+  }
+  return false;
+}
+
+SimulationResult SimulationEngine::run() {
+  // Designers idle (step() returns false) once the design is complete and
+  // any optimization budget is spent, so completion is detected by idleness;
+  // the explicit check merely avoids a final full polling round when no
+  // optimization is configured.
+  while (trace_.size() < options_.maxOperations) {
+    if (options_.optimizationPasses == 0 && complete()) break;
+    if (!step()) break;  // everyone idle: either done or deadlocked
+  }
+  return result();
+}
+
+SimulationResult SimulationEngine::result() const {
+  SimulationResult r;
+  r.completed = dpm_->designComplete();
+  r.operations = trace_.size();
+  r.evaluations = dpm_->network().evaluationCount();
+  r.spins = spins_;
+  r.violationsFoundTotal = violationsFoundTotal_;
+  r.notifications = notifications_;
+  r.trace = trace_;
+  return r;
+}
+
+}  // namespace adpm::teamsim

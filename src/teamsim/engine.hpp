@@ -1,0 +1,97 @@
+// The TeamSim simulation engine.
+//
+// "Designers start requesting operations independently.  A simulation
+// terminates when the top-level problem is solved (and thus all of its
+// subproblems are too), all problem outputs have a value, and no constraints
+// are violated." (paper, Section 3.1.2)
+//
+// "Upon the execution of a design operation θ, TeamSim captures and displays
+// the number of constraint violations found immediately after θ's execution,
+// the number of constraint evaluations executed due to θ, the cumulative
+// number of executed operations, and the value assignments done as a result
+// of θ."
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dpm/scenario.hpp"
+#include "teamsim/designer.hpp"
+#include "teamsim/options.hpp"
+
+namespace adpm::teamsim {
+
+/// One row of the simulation trace (the per-operation statistics that
+/// Fig. 7 plots and Fig. 8 accumulates).
+struct OpStat {
+  std::size_t opIndex = 0;  // 1-based operation number
+  std::string designer;
+  dpm::OperatorKind kind{};
+  std::size_t assignments = 0;       // value assignments done by θ
+  std::size_t violationsFound = 0;   // Fig. 7(a)
+  std::size_t violationsKnown = 0;   // current violation count after θ
+  std::size_t evaluations = 0;       // Fig. 7(b)
+  std::size_t cumulativeEvaluations = 0;
+  bool spin = false;
+  std::size_t cumulativeSpins = 0;
+  std::size_t constraintsTotal = 0;  // network size at this stage
+};
+
+struct SimulationResult {
+  bool completed = false;
+  std::size_t operations = 0;
+  std::size_t evaluations = 0;
+  std::size_t spins = 0;
+  /// Sum over operations of violations found (area under Fig. 7(a)).
+  std::size_t violationsFoundTotal = 0;
+  std::size_t notifications = 0;
+  std::vector<OpStat> trace;
+
+  double evaluationsPerOperation() const noexcept {
+    return operations == 0
+               ? 0.0
+               : static_cast<double>(evaluations) /
+                     static_cast<double>(operations);
+  }
+};
+
+class SimulationEngine {
+ public:
+  SimulationEngine(const dpm::ScenarioSpec& spec, SimulationOptions options);
+
+  /// Runs to completion (or the operation cap) and returns the result.
+  SimulationResult run();
+
+  /// Executes at most one designer operation (round-robin polling).
+  /// Returns false when no designer had anything to do.
+  bool step();
+
+  bool complete() const { return dpm_->designComplete(); }
+  std::size_t operations() const noexcept { return trace_.size(); }
+
+  dpm::DesignProcessManager& manager() noexcept { return *dpm_; }
+  const dpm::DesignProcessManager& manager() const noexcept { return *dpm_; }
+  const std::vector<OpStat>& trace() const noexcept { return trace_; }
+  const SimulationOptions& options() const noexcept { return options_; }
+
+  /// Evaluations consumed by the initial DCM pass (ADPM only): included in
+  /// the network counter and the cumulative trace columns, but not part of
+  /// any operation's own count.
+  std::size_t bootstrapEvaluations() const noexcept { return bootstrapEvals_; }
+
+  /// Builds the result snapshot for the operations executed so far.
+  SimulationResult result() const;
+
+ private:
+  SimulationOptions options_;
+  std::unique_ptr<dpm::DesignProcessManager> dpm_;
+  std::vector<SimulatedDesigner> designers_;
+  std::vector<OpStat> trace_;
+  std::size_t nextDesigner_ = 0;
+  std::size_t bootstrapEvals_ = 0;
+  std::size_t spins_ = 0;
+  std::size_t violationsFoundTotal_ = 0;
+  std::size_t notifications_ = 0;
+};
+
+}  // namespace adpm::teamsim

@@ -1,0 +1,76 @@
+#include "teamsim/experiment.hpp"
+
+#include <thread>
+
+namespace adpm::teamsim {
+
+CellStats runSeedSweep(const dpm::ScenarioSpec& spec,
+                       const SimulationOptions& base, std::size_t seeds,
+                       std::uint64_t firstSeed, const std::string& label) {
+  CellStats cell;
+  cell.label = label;
+  for (std::size_t i = 0; i < seeds; ++i) {
+    SimulationOptions options = base;
+    options.seed = firstSeed + i;
+    SimulationEngine engine(spec, options);
+    const SimulationResult r = engine.run();
+    ++cell.runs;
+    if (!r.completed) continue;
+    ++cell.completed;
+    cell.operations.add(static_cast<double>(r.operations));
+    cell.evaluations.add(static_cast<double>(r.evaluations));
+    cell.evaluationsPerOperation.add(r.evaluationsPerOperation());
+    cell.spins.add(static_cast<double>(r.spins));
+    cell.violationsFound.add(static_cast<double>(r.violationsFoundTotal));
+  }
+  return cell;
+}
+
+CellStats runSeedSweepParallel(const dpm::ScenarioSpec& spec,
+                               const SimulationOptions& base,
+                               std::size_t seeds, std::uint64_t firstSeed,
+                               const std::string& label, unsigned threads) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads <= 1 || seeds < 2) {
+    return runSeedSweep(spec, base, seeds, firstSeed, label);
+  }
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, seeds));
+
+  // Static seed partition keeps every run's seed identical to the serial
+  // sweep; merge order does not affect the Welford aggregates beyond
+  // floating-point association.
+  std::vector<CellStats> shards(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      const std::size_t begin = seeds * t / threads;
+      const std::size_t end = seeds * (t + 1) / threads;
+      shards[t] = runSeedSweep(spec, base, end - begin, firstSeed + begin);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  CellStats cell;
+  cell.label = label;
+  for (const CellStats& shard : shards) cell.merge(shard);
+  return cell;
+}
+
+Comparison compareApproaches(const dpm::ScenarioSpec& spec,
+                             const SimulationOptions& base, std::size_t seeds,
+                             std::uint64_t firstSeed) {
+  Comparison cmp;
+  SimulationOptions adpmOptions = base;
+  adpmOptions.adpm = true;
+  cmp.adpm = runSeedSweep(spec, adpmOptions, seeds, firstSeed, "ADPM");
+
+  SimulationOptions convOptions = base;
+  convOptions.adpm = false;
+  cmp.conventional =
+      runSeedSweep(spec, convOptions, seeds, firstSeed, "Conventional");
+  return cmp;
+}
+
+}  // namespace adpm::teamsim

@@ -1,0 +1,128 @@
+#include "teamsim/export.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace adpm::teamsim {
+
+namespace {
+
+std::string num(double v) { return util::formatNumber(v, 8); }
+
+}  // namespace
+
+void writeTraceCsv(std::ostream& out, const std::vector<OpStat>& trace) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(trace.size());
+  for (const OpStat& s : trace) {
+    rows.push_back({std::to_string(s.opIndex), s.designer,
+                    dpm::operatorKindName(s.kind),
+                    std::to_string(s.assignments),
+                    std::to_string(s.violationsFound),
+                    std::to_string(s.violationsKnown),
+                    std::to_string(s.evaluations),
+                    std::to_string(s.cumulativeEvaluations),
+                    s.spin ? "1" : "0",
+                    std::to_string(s.cumulativeSpins),
+                    std::to_string(s.constraintsTotal)});
+  }
+  util::writeCsv(out,
+                 {"op", "designer", "kind", "assignments", "violations_found",
+                  "violations_known", "evaluations", "cumulative_evaluations",
+                  "spin", "cumulative_spins", "constraints_total"},
+                 rows);
+}
+
+void writeProfileCsv(std::ostream& out,
+                     const std::vector<OpStat>& conventional,
+                     const std::vector<OpStat>& adpm) {
+  const std::size_t n = std::max(conventional.size(), adpm.size());
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto violations = [&](const std::vector<OpStat>& t) {
+      return i < t.size() ? std::to_string(t[i].violationsFound) : "0";
+    };
+    const auto evaluations = [&](const std::vector<OpStat>& t) {
+      return i < t.size() ? std::to_string(t[i].evaluations) : "0";
+    };
+    rows.push_back({std::to_string(i + 1), violations(conventional),
+                    violations(adpm), evaluations(conventional),
+                    evaluations(adpm)});
+  }
+  util::writeCsv(out,
+                 {"op", "violations_conventional", "violations_adpm",
+                  "evaluations_conventional", "evaluations_adpm"},
+                 rows);
+}
+
+void writeCellsCsv(std::ostream& out, const std::vector<CellStats>& cells) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(cells.size());
+  for (const CellStats& c : cells) {
+    rows.push_back({c.label, std::to_string(c.runs),
+                    std::to_string(c.completed), num(c.operations.mean()),
+                    num(c.operations.stddev()), num(c.evaluations.mean()),
+                    num(c.evaluationsPerOperation.mean()),
+                    num(c.spins.mean()), num(c.violationsFound.mean())});
+  }
+  util::writeCsv(out,
+                 {"cell", "runs", "completed", "ops_mean", "ops_stddev",
+                  "evals_mean", "evals_per_op_mean", "spins_mean",
+                  "violations_found_mean"},
+                 rows);
+}
+
+void writeSweepCsv(std::ostream& out, const std::string& xLabel,
+                   const std::vector<SweepPoint>& points) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(points.size());
+  for (const SweepPoint& p : points) {
+    rows.push_back({num(p.x), num(p.conventional.operations.mean()),
+                    num(p.conventional.operations.stddev()),
+                    num(p.adpm.operations.mean()),
+                    num(p.adpm.operations.stddev())});
+  }
+  util::writeCsv(out,
+                 {xLabel, "ops_conventional_mean", "ops_conventional_stddev",
+                  "ops_adpm_mean", "ops_adpm_stddev"},
+                 rows);
+}
+
+std::string gnuplotProfileScript(const std::string& dataFile) {
+  std::string s;
+  s += "# Fig. 7 reproduction — run: gnuplot -persist <this-file>\n";
+  s += "set datafile separator ','\n";
+  s += "set key autotitle columnhead\n";
+  s += "set multiplot layout 2,1\n";
+  s += "set title 'Fig. 7(a): violations found per executed operation'\n";
+  s += "set xlabel 'operation'\n";
+  s += "plot '" + dataFile + "' using 1:2 with impulses lw 2 title "
+       "'conventional', '" + dataFile + "' using 1:3 with points pt 7 title "
+       "'ADPM'\n";
+  s += "set title 'Fig. 7(b): constraint evaluations per executed operation'\n";
+  s += "plot '" + dataFile + "' using 1:4 with lines lw 2 title "
+       "'conventional', '" + dataFile + "' using 1:5 with lines lw 2 title "
+       "'ADPM'\n";
+  s += "unset multiplot\n";
+  return s;
+}
+
+std::string gnuplotSweepScript(const std::string& dataFile,
+                               const std::string& xLabel) {
+  std::string s;
+  s += "# Fig. 10 reproduction — run: gnuplot -persist <this-file>\n";
+  s += "set datafile separator ','\n";
+  s += "set key autotitle columnhead\n";
+  s += "set title 'Fig. 10: design operations vs specification tightness'\n";
+  s += "set xlabel '" + xLabel + "'\n";
+  s += "set ylabel 'executed design operations'\n";
+  s += "plot '" + dataFile + "' using 1:2:3 with yerrorlines lw 2 title "
+       "'conventional', '" + dataFile + "' using 1:4:5 with yerrorlines lw 2 "
+       "title 'ADPM'\n";
+  return s;
+}
+
+}  // namespace adpm::teamsim

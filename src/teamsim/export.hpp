@@ -1,0 +1,48 @@
+// Post-simulation data export.
+//
+// The paper's TeamSim connected Minerva III "with existing visualization
+// programs (Gnuplot and Lefty)".  This module is the equivalent output
+// stage: simulation traces, seed-sweep aggregates and tightness sweeps are
+// written as CSV, and ready-to-run Gnuplot scripts are generated for the
+// paper's figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "teamsim/engine.hpp"
+#include "teamsim/experiment.hpp"
+
+namespace adpm::teamsim {
+
+/// Writes the per-operation trace as CSV: one row per executed operation
+/// with every statistic TeamSim captures.
+void writeTraceCsv(std::ostream& out, const std::vector<OpStat>& trace);
+
+/// Writes a Fig. 7-style two-run profile: op index, per-op violations and
+/// evaluations for the conventional and ADPM runs side by side (shorter run
+/// padded with zeros).
+void writeProfileCsv(std::ostream& out, const std::vector<OpStat>& conventional,
+                     const std::vector<OpStat>& adpm);
+
+/// Writes the Fig. 9-style cell aggregate table (one row per cell).
+void writeCellsCsv(std::ostream& out, const std::vector<CellStats>& cells);
+
+/// Writes a Fig. 10-style sweep: x value plus conventional/ADPM means and
+/// standard deviations per row.
+struct SweepPoint {
+  double x = 0.0;
+  CellStats conventional;
+  CellStats adpm;
+};
+void writeSweepCsv(std::ostream& out, const std::string& xLabel,
+                   const std::vector<SweepPoint>& points);
+
+/// Gnuplot scripts that plot the CSVs written above.  `dataFile` is the CSV
+/// path the script will read.
+std::string gnuplotProfileScript(const std::string& dataFile);
+std::string gnuplotSweepScript(const std::string& dataFile,
+                               const std::string& xLabel);
+
+}  // namespace adpm::teamsim

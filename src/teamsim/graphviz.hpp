@@ -1,0 +1,18 @@
+// The constraint network viewer (paper Fig. 5: TeamSim's visualization
+// includes "a constraint network viewer"), as a Graphviz DOT exporter.
+//
+// Properties render as ellipses (filled when bound), constraints as boxes
+// coloured by status (green satisfied, red violated, grey consistent,
+// dashed when not yet generated); edges are constraint membership.  Render
+// with:  dot -Tsvg network.dot -o network.svg
+#pragma once
+
+#include <string>
+
+#include "dpm/manager.hpp"
+
+namespace adpm::teamsim {
+
+std::string toGraphviz(const dpm::DesignProcessManager& dpm);
+
+}  // namespace adpm::teamsim

@@ -1,0 +1,91 @@
+// Simulation configuration.
+//
+// The λ flag mirrors the paper exactly: "ADPM can be compared with
+// conventional approaches by setting a Boolean parameter.  When λ=F, the
+// conventional approach is simulated ... When λ=T, ADPM is simulated."
+// (paper, Section 3.1.2).  The heuristic toggles exist for the ablation
+// benchmarks (every §2.3 heuristic can be disabled independently).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dpm/manager.hpp"
+
+namespace adpm::teamsim {
+
+struct SimulationOptions {
+  /// λ: true = ADPM (propagation + heuristic guidance), false = conventional.
+  bool adpm = true;
+  /// Random seed; experiments sweep this ("over 60 simulations were executed
+  /// varying the value of the random seed").
+  std::uint64_t seed = 1;
+  /// Hard stop: runs exceeding this many operations are reported incomplete.
+  /// Purely a runaway guard — the heaviest observed conventional tail (the
+  /// 4-designer receiver) completes under ten thousand operations.
+  std::size_t maxOperations = 20000;
+
+  /// Repair step as a fraction of |E_i|: "delta values around 100 times
+  /// smaller than the size of E_i worked well" (paper, Section 3.1.1).
+  double deltaDivisor = 100.0;
+  /// Successive repairs in the same direction grow the step by this factor
+  /// (an engineer's successive approximation); a direction flip resets it.
+  double stepGrowth = 2.0;
+  /// Step cap as a fraction of |E_i|.
+  double maxStepFraction = 0.25;
+  /// Tolerance (fraction of |E_i|) when consulting the failed-assignment
+  /// history.
+  double tabuFraction = 0.02;
+  /// When binding from a continuous feasible window, stay this fraction of
+  /// the window width inside the chosen extreme.  Binding exactly on the
+  /// propagated bound parks the design on a constraint boundary where
+  /// rounding flips constraints to violated — and hull consistency is not
+  /// global consistency, so boundary picks routinely squeeze the *other*
+  /// subsystem into a corner (cross-subsystem conflicts, i.e. spins).  A
+  /// healthy margin keeps the top-or-bottom preference while leaving the
+  /// team room.
+  double bindingMargin = 0.3;
+
+  // -- ablation toggles (all on = the paper's ADPM) ---------------------------
+
+  /// §2.3.1: order unbound outputs by smallest feasible subspace.
+  bool useSubspaceOrdering = true;
+  /// §2.3.1/f_v: choose values from the feasible subspace v_F.
+  bool useFeasibleValues = true;
+  /// §2.3.3/f_a: prefer repair targets with the most connected violations.
+  bool useAlphaRepair = true;
+  /// f_a/f_v: use monotone direction votes to pick the repair direction and
+  /// the top-vs-bottom binding value.
+  bool useDirectionVoting = true;
+  /// Conventional-flow competence: solve a violated constraint's boundary in
+  /// 1-D on the designer's own models instead of pure delta stepping.
+  /// Disabling it models a team that only nudges knobs — an ablation for how
+  /// much local engineering skill the conventional baseline is granted.
+  bool useBoundarySolve = true;
+  /// Optimization operators (paper §2.1 lists "synthesis and optimization
+  /// operators"): after the design completes, each designer may spend up to
+  /// this many extra synthesis operations nudging preference-annotated free
+  /// variables toward their economical end, keeping every constraint
+  /// satisfied.  0 (default) reproduces the paper's feasibility-only runs.
+  std::size_t optimizationPasses = 0;
+  /// Fraction of |E_i| an optimization nudge moves per operation.
+  double optimizationStep = 0.05;
+
+  /// Human-error injection: probability that a synthesis binding ignores
+  /// every heuristic and picks a uniformly random value from E_i (a typo, a
+  /// stale spreadsheet, a misread plot).  The process machinery must detect
+  /// and repair the damage either way; used by robustness tests.
+  double blunderRate = 0.0;
+
+  /// Propagation/miner settings forwarded to the DCM (ADPM only).
+  dpm::DesignConstraintManager::Options dcm{};
+
+  dpm::DesignProcessManager::Options managerOptions() const {
+    dpm::DesignProcessManager::Options o;
+    o.adpm = adpm;
+    o.dcm = dcm;
+    return o;
+  }
+};
+
+}  // namespace adpm::teamsim

@@ -1,0 +1,84 @@
+#include "teamsim/statwindow.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace adpm::teamsim {
+
+std::string renderStatisticsWindow(const SimulationEngine& engine) {
+  const auto& trace = engine.trace();
+  const auto& dpm = engine.manager();
+
+  std::ostringstream out;
+  out << "+--------------------------------------------------+\n";
+  out << "|        TeamSim  -  Design Process Statistics     |\n";
+  out << "+--------------------------------------------------+\n";
+  util::TextTable t;
+  t.row({"Approach", engine.options().adpm ? "ADPM (lambda=T)"
+                                           : "Conventional (lambda=F)"});
+  std::size_t synth = 0;
+  std::size_t verify = 0;
+  std::size_t decompose = 0;
+  for (const auto& s : trace) {
+    switch (s.kind) {
+      case dpm::OperatorKind::Synthesis: ++synth; break;
+      case dpm::OperatorKind::Verification: ++verify; break;
+      case dpm::OperatorKind::Decomposition: ++decompose; break;
+    }
+  }
+  t.row({"Executed operations",
+         std::to_string(trace.size())});
+  t.row({"  synthesis / verification / decomposition",
+         std::to_string(synth) + " / " + std::to_string(verify) + " / " +
+             std::to_string(decompose)});
+  t.row({"Number of constraints",
+         std::to_string(dpm.network().activeConstraintCount())});
+  t.row({"Current violations", std::to_string(dpm.knownViolationCount())});
+  t.row({"Constraint evaluations",
+         std::to_string(dpm.network().evaluationCount())});
+  const std::size_t spins = trace.empty() ? 0 : trace.back().cumulativeSpins;
+  t.row({"Cumulative design spins", std::to_string(spins)});
+  t.row({"Notifications sent", std::to_string(engine.result().notifications)});
+  t.row({"Design complete", dpm.designComplete() ? "yes" : "no"});
+  out << t.render();
+  return out.str();
+}
+
+std::string renderHistoryStrip(const std::vector<OpStat>& trace,
+                               const std::string& metric, std::size_t width) {
+  auto metricOf = [&](const OpStat& s) -> double {
+    if (metric == "violationsFound") return static_cast<double>(s.violationsFound);
+    if (metric == "violationsKnown") return static_cast<double>(s.violationsKnown);
+    if (metric == "evaluations") return static_cast<double>(s.evaluations);
+    if (metric == "spins") return static_cast<double>(s.cumulativeSpins);
+    throw adpm::InvalidArgumentError("unknown metric '" + metric + "'");
+  };
+
+  if (trace.empty()) return "(no operations)\n";
+
+  // Downsample the trace to `width` buckets; each bucket shows the max.
+  const std::size_t buckets = std::min(width, trace.size());
+  std::vector<double> series(buckets, 0.0);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const std::size_t b = i * buckets / trace.size();
+    series[b] = std::max(series[b], metricOf(trace[i]));
+  }
+  const double peak = *std::max_element(series.begin(), series.end());
+
+  static constexpr const char* kGlyphs[] = {" ", ".", ":", "-", "=", "#", "@"};
+  std::ostringstream out;
+  out << metric << " [peak " << peak << "]: ";
+  for (double v : series) {
+    const int level =
+        peak <= 0.0 ? 0
+                    : static_cast<int>(v / peak * 6.0 + 0.5);
+    out << kGlyphs[std::clamp(level, 0, 6)];
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace adpm::teamsim

@@ -1,0 +1,23 @@
+// Fig. 8: TeamSim's design process statistics window, as a text panel.
+//
+// "Key statistics are dynamically displayed, including the number of
+// constraints, the number of violations, the number of constraint
+// evaluations, and the cumulative number of design spins."
+#pragma once
+
+#include <string>
+
+#include "teamsim/engine.hpp"
+
+namespace adpm::teamsim {
+
+/// Renders the current statistics panel for a running (or finished) engine.
+std::string renderStatisticsWindow(const SimulationEngine& engine);
+
+/// Renders a sparkline-style history strip for one metric of the trace
+/// (used by the Fig. 8 bench to show the violations and evaluations series).
+std::string renderHistoryStrip(const std::vector<OpStat>& trace,
+                               const std::string& metric,
+                               std::size_t width = 60);
+
+}  // namespace adpm::teamsim

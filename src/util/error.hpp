@@ -1,0 +1,42 @@
+// Error types shared by all ADPM modules.
+//
+// The library throws exceptions only for programming errors and malformed
+// input (e.g. DDDL syntax errors); expected conditions such as an infeasible
+// constraint network are reported through return values.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace adpm {
+
+/// Base class for all exceptions thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated an API precondition (unknown id, bad argument, ...).
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// A DDDL source file failed to lex/parse/validate.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line, int column)
+      : Error("parse error at " + std::to_string(line) + ":" +
+              std::to_string(column) + ": " + what),
+        line_(line),
+        column_(column) {}
+
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+}  // namespace adpm

@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation.
+//
+// TeamSim experiments sweep the random seed ("over 60 simulations were
+// executed varying the value of the random seed"), so all stochastic choices
+// in the library flow through this one generator type.  xoshiro256** is used
+// for generation and splitmix64 for seeding, giving reproducible streams that
+// are independent of the platform's std::mt19937 implementation details.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace adpm::util {
+
+/// splitmix64 step; used to expand a single 64-bit seed into generator state.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** 1.0 generator (Blackman & Vigna), deterministic across
+/// platforms.  Satisfies the std uniform_random_bit_generator concept.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi); returns lo when the range is degenerate.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n); n must be > 0.
+  std::size_t index(std::size_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Returns true with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Picks a uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) noexcept {
+    return items[index(items.size())];
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) noexcept {
+    return items[index(items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace adpm::util

@@ -1,0 +1,75 @@
+// Streaming statistics used by TeamSim's experiment driver.
+//
+// Fig. 9 of the paper reports mean and standard deviation of the number of
+// design operations over >= 60 seeded runs; RunningStats implements Welford's
+// online algorithm so the experiment driver never needs to retain raw samples
+// for aggregate metrics (traces keep their own raw series).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace adpm::util {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-safe combine).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width bucket histogram over [lo, hi); out-of-range samples clamp to
+/// the first/last bucket.  Used by the experiment reports to show the spread
+/// of operation counts across seeds.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+
+  std::size_t bucketCount() const noexcept { return counts_.size(); }
+  std::size_t bucket(std::size_t i) const { return counts_.at(i); }
+  double bucketLow(std::size_t i) const;
+  double bucketHigh(std::size_t i) const;
+  std::size_t total() const noexcept { return total_; }
+
+  /// Renders a one-line-per-bucket ASCII bar chart.
+  std::string render(std::size_t barWidth = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Mean of a vector; 0 for empty input.
+double mean(const std::vector<double>& xs) noexcept;
+
+/// Sample standard deviation of a vector; 0 for fewer than two samples.
+double stddev(const std::vector<double>& xs) noexcept;
+
+/// Median (average of middle two for even sizes); 0 for empty input.
+double median(std::vector<double> xs) noexcept;
+
+}  // namespace adpm::util

@@ -1,0 +1,26 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adpm::util {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s) noexcept;
+
+/// Splits on a single-character separator; adjacent separators yield empty
+/// fields.  An empty input yields one empty field.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins with a separator string.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool startsWith(std::string_view s, std::string_view prefix) noexcept;
+
+/// Lower-cases ASCII letters.
+std::string toLower(std::string_view s);
+
+}  // namespace adpm::util

@@ -1,0 +1,54 @@
+// Aligned text tables and CSV output.
+//
+// Every experiment binary in bench/ regenerates one of the paper's tables or
+// figures; TextTable prints the human-readable form and writeCsv emits the
+// machine-readable series for external plotting (the paper used Gnuplot).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace adpm::util {
+
+/// Column-aligned text table with an optional header rule.
+class TextTable {
+ public:
+  /// Sets the header row; resets nothing else.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row.  Rows may have fewer cells than the header.
+  void row(std::vector<std::string> cells);
+
+  /// Appends a horizontal rule (rendered with dashes).
+  void rule();
+
+  /// Renders with two spaces between columns; numeric-looking cells are
+  /// right-aligned, everything else left-aligned.
+  std::string render() const;
+
+  std::size_t rowCount() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool isRule = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with `digits` significant digits, trimming trailing
+/// zeros ("12.5", "0.07", "3").
+std::string formatNumber(double value, int digits = 4);
+
+/// Shortest representation that round-trips exactly (std::to_chars); used by
+/// the DDDL writer so write -> parse preserves every bit.
+std::string formatExact(double value);
+
+/// Writes rows as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+void writeCsv(std::ostream& out, const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace adpm::util

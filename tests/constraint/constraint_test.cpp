@@ -1,0 +1,95 @@
+#include "constraint/constraint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace adpm::constraint {
+namespace {
+
+using expr::Expr;
+using interval::Interval;
+
+Expr v(std::uint32_t id, const char* name) { return Expr::variable(id, name); }
+
+TEST(Constraint, CanonicalResidualAndTarget) {
+  // P_f + P_s <= P_M, the paper's running power-budget example.
+  const Expr pf = v(0, "P_f");
+  const Expr ps = v(1, "P_s");
+  const Expr pm = v(2, "P_M");
+  Constraint c(ConstraintId{0}, "power-budget", pf + ps, Relation::Le, pm);
+
+  EXPECT_EQ(c.name(), "power-budget");
+  EXPECT_EQ(c.relation(), Relation::Le);
+  EXPECT_EQ(c.target(), Interval::nonPositive());
+  EXPECT_EQ(c.arguments(),
+            (std::vector<PropertyId>{PropertyId{0}, PropertyId{1},
+                                     PropertyId{2}}));
+  EXPECT_TRUE(c.involves(PropertyId{1}));
+  EXPECT_FALSE(c.involves(PropertyId{3}));
+  EXPECT_EQ(c.str(), "P_f + P_s <= P_M");
+}
+
+TEST(Constraint, TargetsByRelation) {
+  const Expr x = v(0, "x");
+  EXPECT_EQ(Constraint(ConstraintId{0}, "ge", x, Relation::Ge,
+                       Expr::constant(0.0))
+                .target(),
+            Interval::nonNegative());
+  EXPECT_EQ(Constraint(ConstraintId{0}, "eq", x, Relation::Eq,
+                       Expr::constant(0.0))
+                .target(),
+            Interval(0.0));
+}
+
+TEST(Constraint, InvalidExpressionThrows) {
+  EXPECT_THROW(Constraint(ConstraintId{0}, "bad", Expr{}, Relation::Le,
+                          Expr::constant(0.0)),
+               adpm::InvalidArgumentError);
+}
+
+TEST(Constraint, DeclaredHelpDirection) {
+  const Expr x = v(0, "x");
+  const Expr y = v(1, "y");
+  Constraint c(ConstraintId{0}, "c", x + y, Relation::Le, Expr::constant(5.0));
+  EXPECT_EQ(c.declaredHelpDirection(PropertyId{0}), 0);
+  c.declareHelpDirection(PropertyId{0}, false);
+  c.declareHelpDirection(PropertyId{1}, true);
+  EXPECT_EQ(c.declaredHelpDirection(PropertyId{0}), -1);
+  EXPECT_EQ(c.declaredHelpDirection(PropertyId{1}), 1);
+  // Declaring for a non-argument property is a scenario bug.
+  EXPECT_THROW(c.declareHelpDirection(PropertyId{9}, true),
+               adpm::InvalidArgumentError);
+}
+
+TEST(Classify, ThreeValuedSemantics) {
+  const Interval target = Interval::nonPositive();
+  // Residual entirely <= 0: satisfied for all combinations.
+  EXPECT_EQ(classify(Interval(-5, -1), target), Status::Satisfied);
+  // Residual entirely > 0: violated for all combinations.
+  EXPECT_EQ(classify(Interval(1, 5), target), Status::Violated);
+  // Straddles: consistent (paper's Unknown).
+  EXPECT_EQ(classify(Interval(-1, 1), target), Status::Consistent);
+  // Boundary contact counts as overlap, hence not violated.
+  EXPECT_EQ(classify(Interval(0, 5), target), Status::Consistent);
+  EXPECT_EQ(classify(Interval(-5, 0), target), Status::Satisfied);
+}
+
+TEST(Classify, EqualityConstraint) {
+  const Interval target(0.0);
+  EXPECT_EQ(classify(Interval(0.0), target), Status::Satisfied);
+  EXPECT_EQ(classify(Interval(-1, 1), target), Status::Consistent);
+  EXPECT_EQ(classify(Interval(0.5, 1), target), Status::Violated);
+}
+
+TEST(StatusNames, Printable) {
+  EXPECT_STREQ(statusName(Status::Satisfied), "Satisfied");
+  EXPECT_STREQ(statusName(Status::Violated), "Violated");
+  EXPECT_STREQ(statusName(Status::Consistent), "Consistent");
+  EXPECT_STREQ(relationSymbol(Relation::Le), "<=");
+  EXPECT_STREQ(relationSymbol(Relation::Ge), ">=");
+  EXPECT_STREQ(relationSymbol(Relation::Eq), "==");
+}
+
+}  // namespace
+}  // namespace adpm::constraint

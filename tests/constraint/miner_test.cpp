@@ -1,0 +1,186 @@
+#include "constraint/miner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adpm::constraint {
+namespace {
+
+using expr::Expr;
+using interval::Domain;
+
+// Mirror of the paper's Fig. 3/Fig. 4 situation: Diff-pair-W appears in three
+// constraints (power, impedance, gain), two of which get violated.
+struct BrowserFixture {
+  Network net;
+  PropertyId w;       // Diff-pair-W: larger helps gain & impedance, hurts power
+  PropertyId l;       // Freq-ind
+  ConstraintId cGain, cZin, cPower;
+
+  BrowserFixture() {
+    w = net.addProperty({"Diff-pair-W", "LNA+Mixer",
+                         Domain::continuous(1.0, 8.0), "um", {}});
+    l = net.addProperty({"Freq-ind", "LNA+Mixer",
+                         Domain::continuous(0.05, 0.5), "uH", {}});
+    const Expr W = net.var(w);
+    const Expr L = net.var(l);
+    // gain = 30*W*L >= 48
+    cGain = net.addConstraint("TotalGain-C13", 30.0 * W * L, Relation::Ge,
+                              Expr::constant(48.0));
+    // Zin matching: 120/W <= 40  (larger W lowers input impedance)
+    cZin = net.addConstraint("LNA-Zin-C9", 120.0 / W, Relation::Le,
+                             Expr::constant(40.0));
+    // power: 25*W <= 200
+    cPower = net.addConstraint("LNAPower-C7", 25.0 * W, Relation::Le,
+                               Expr::constant(200.0));
+  }
+};
+
+TEST(HeuristicMiner, BetaCountsConnectedConstraints) {
+  BrowserFixture f;
+  Propagator prop;
+  const auto r = prop.run(f.net);
+  HeuristicMiner miner;
+  const auto g = miner.mine(f.net, r);
+  // The paper's Fig. 3: Diff-pair-W appears in 3 constraints (beta = 3).
+  EXPECT_EQ(g.of(f.w).beta, 3);
+  EXPECT_EQ(g.of(f.l).beta, 1);
+}
+
+TEST(HeuristicMiner, AlphaCountsConnectedViolations) {
+  BrowserFixture f;
+  // Fig. 4's story: a small W violates both gain and impedance.
+  f.net.bind(f.w, 2.5);
+  f.net.bind(f.l, 0.2);
+  Propagator prop;
+  const auto r = prop.run(f.net);
+  // gain = 30*2.5*0.2 = 15 < 48 (violated); Zin = 48 > 40 (violated);
+  // power = 62.5 <= 200 (satisfied).
+  EXPECT_TRUE(r.isViolated(f.cGain));
+  EXPECT_TRUE(r.isViolated(f.cZin));
+  EXPECT_FALSE(r.isViolated(f.cPower));
+
+  HeuristicMiner miner;
+  const auto g = miner.mine(f.net, r);
+  EXPECT_EQ(g.of(f.w).alpha, 2);  // the paper's alpha_2 = 2
+  EXPECT_EQ(g.of(f.l).alpha, 1);
+  EXPECT_EQ(g.violated.size(), 2u);
+}
+
+TEST(HeuristicMiner, RepairVotesPointTowardFix) {
+  BrowserFixture f;
+  f.net.bind(f.w, 2.5);
+  f.net.bind(f.l, 0.2);
+  Propagator prop;
+  const auto r = prop.run(f.net);
+  HeuristicMiner miner;
+  const auto g = miner.mine(f.net, r);
+  // Both violations are fixed by increasing W (exactly the paper's Section
+  // 2.4.3 resolution: widen the differential pair).
+  EXPECT_EQ(g.of(f.w).repairVotesUp, 2);
+  EXPECT_EQ(g.of(f.w).repairVotesDown, 0);
+  EXPECT_EQ(g.of(f.w).preferredRepairDirection(), 1);
+}
+
+TEST(HeuristicMiner, MonotoneListsSplitByHelpDirection) {
+  BrowserFixture f;
+  Propagator prop;
+  const auto r = prop.run(f.net);
+  HeuristicMiner miner;
+  const auto g = miner.mine(f.net, r);
+  const auto& gw = g.of(f.w);
+  // Increasing W helps gain (>=) and Zin (120/W <=), hurts power (<=).
+  EXPECT_EQ(gw.increasing.size(), 2u);
+  EXPECT_EQ(gw.decreasing.size(), 1u);
+  EXPECT_EQ(gw.decreasing[0], f.cPower);
+}
+
+TEST(HeuristicMiner, FeasibleSubspaceShrinksWithTighterSpec) {
+  BrowserFixture loose;
+  Propagator prop;
+  HeuristicMiner miner;
+  const auto gLoose =
+      miner.mine(loose.net, prop.run(loose.net)).of(loose.w);
+
+  BrowserFixture tight;
+  // Tighten the power budget: 25*W <= 80 forces W <= 3.2.
+  tight.net.constraint(tight.cPower);  // (exists)
+  // Rebuild a tighter network instead of mutating the constraint.
+  Network net2;
+  const auto w2 = net2.addProperty({"Diff-pair-W", "LNA+Mixer",
+                                    Domain::continuous(1.0, 8.0), "um", {}});
+  net2.addConstraint("power", 25.0 * net2.var(w2), Relation::Le,
+                     Expr::constant(80.0));
+  const auto g2 = miner.mine(net2, prop.run(net2)).of(w2);
+
+  EXPECT_LT(g2.relativeFeasibleSize, gLoose.relativeFeasibleSize + 1e-12);
+  EXPECT_NEAR(g2.feasible.maxValue(), 3.2, 1e-6);
+}
+
+TEST(HeuristicMiner, WhatIfRecoversRangeForBoundViolatedProperty) {
+  BrowserFixture f;
+  f.net.bind(f.w, 2.5);
+  f.net.bind(f.l, 0.2);
+  Propagator prop;
+  const auto r = prop.run(f.net);
+  HeuristicMiner withWhatIf;
+  const auto g = withWhatIf.mine(f.net, r);
+  // Bound at 2.5 with violations: the what-if range shows where W could be
+  // rebound (Zin needs W >= 3, power allows W <= 8).
+  const auto& gw = g.of(f.w);
+  EXPECT_FALSE(gw.feasible.empty());
+  EXPECT_GE(gw.feasible.minValue(), 3.0 - 1e-6);
+  EXPECT_GT(g.extraEvaluations, 0u);
+
+  HeuristicMiner without{
+      HeuristicMiner::Options{.whatIfForViolated = false, .propagation = {}}};
+  const auto g2 = without.mine(f.net, r);
+  EXPECT_EQ(g2.extraEvaluations, 0u);
+}
+
+TEST(HeuristicMiner, RelativeFeasibleSizeRanksDifficulty) {
+  // The Fig. 2 heuristic: Freq-ind's feasible window is relatively smaller
+  // than Diff-pair-W's, so the designer focuses on the inductor first.
+  Network net;
+  const auto w = net.addProperty({"Diff-pair-W", "LNA+Mixer",
+                                  Domain::continuous(1.0, 8.0), "um", {}});
+  const auto l = net.addProperty({"Freq-ind", "LNA+Mixer",
+                                  Domain::continuous(0.05, 0.5), "uH", {}});
+  // W >= 2.5 (keeps ~79% of its range); L in [0.17, 0.2] (~7%).
+  net.addConstraint("w-min", net.var(w), Relation::Ge, Expr::constant(2.5));
+  net.addConstraint("l-lo", net.var(l), Relation::Ge, Expr::constant(0.17));
+  net.addConstraint("l-hi", net.var(l), Relation::Le, Expr::constant(0.2));
+  Propagator prop;
+  HeuristicMiner miner;
+  const auto g = miner.mine(net, prop.run(net));
+  EXPECT_LT(g.of(l).relativeFeasibleSize, g.of(w).relativeFeasibleSize);
+}
+
+TEST(HelpDirection, EqualityUsesViolationSide) {
+  Network net;
+  const auto x = net.addProperty({"x", "o", Domain::continuous(0, 10), "", {}});
+  const auto y = net.addProperty({"y", "o", Domain::continuous(0, 10), "", {}});
+  const auto cid = net.addConstraint("model", net.var(y), Relation::Eq,
+                                     2.0 * net.var(x));
+  // y = 2x violated with y too small: y=1, x=4 (residual y-2x = -7 < 0).
+  net.bind(x, 4.0);
+  net.bind(y, 1.0);
+  const auto box = net.currentBox();
+  // Residual must rise: increasing y helps (+1), increasing x hurts (-1).
+  EXPECT_EQ(helpDirection(net, net.constraint(cid), y, box), 1);
+  EXPECT_EQ(helpDirection(net, net.constraint(cid), x, box), -1);
+}
+
+TEST(HelpDirection, FallsBackToDeclared) {
+  Network net;
+  const auto x = net.addProperty({"x", "o", Domain::continuous(-5, 5), "", {}});
+  // residual x^2 - 4 <= 0; over [-5,5] the derivative sign is unprovable.
+  const auto cid = net.addConstraint("sq", expr::sqr(net.var(x)), Relation::Le,
+                                     expr::Expr::constant(4.0));
+  const auto box = net.currentBox();
+  EXPECT_EQ(helpDirection(net, net.constraint(cid), x, box), 0);
+  net.constraint(cid).declareHelpDirection(x, false);
+  EXPECT_EQ(helpDirection(net, net.constraint(cid), x, box), -1);
+}
+
+}  // namespace
+}  // namespace adpm::constraint

@@ -1,0 +1,268 @@
+#include "constraint/propagate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace adpm::constraint {
+namespace {
+
+using expr::Expr;
+using interval::Domain;
+using interval::Interval;
+
+// The paper's Fig. 2 setting, reduced: an LNA with a load inductor and a
+// differential pair, subject to gain / power / impedance requirements that
+// carve out small feasible windows.
+struct LnaFixture {
+  Network net;
+  PropertyId w;     // Diff-pair-W
+  PropertyId l;     // Freq-ind
+  PropertyId gain;  // LNA-gain
+  PropertyId power; // LNA-power
+
+  LnaFixture() {
+    w = net.addProperty({"Diff-pair-W", "LNA+Mixer",
+                         Domain::continuous(0.5, 10.0), "um", {"Transistor"}});
+    l = net.addProperty({"Freq-ind", "LNA+Mixer",
+                         Domain::continuous(0.05, 0.5), "uH", {"Transistor"}});
+    gain = net.addProperty({"LNA-gain", "LNA+Mixer",
+                            Domain::continuous(0.0, 500.0), "", {"Geometry"}});
+    power = net.addProperty({"LNA-power", "LNA+Mixer",
+                             Domain::continuous(0.0, 400.0), "mW",
+                             {"Geometry"}});
+
+    const Expr W = net.var(w);
+    const Expr L = net.var(l);
+    const Expr G = net.var(gain);
+    const Expr P = net.var(power);
+
+    // gain = 40 * W * L (first-order transconductance-load model)
+    net.addConstraint("gain-model", G, Relation::Eq, 40.0 * W * L);
+    // gain >= 50
+    net.addConstraint("gain-spec", G, Relation::Ge, Expr::constant(50.0));
+    // power = 20 * W
+    net.addConstraint("power-model", P, Relation::Eq, 20.0 * W);
+    // power <= 200
+    net.addConstraint("power-spec", P, Relation::Le, Expr::constant(200.0));
+  }
+};
+
+TEST(Propagator, NarrowsFeasibleSubspaces) {
+  LnaFixture f;
+  Propagator prop;
+  const PropagationResult r = prop.run(f.net);
+
+  EXPECT_FALSE(r.anyViolation());
+  // power <= 200 and power = 20W imply W <= 10 (already) and W >= 50/(40*0.5)=2.5
+  // via gain >= 50 with L <= 0.5.
+  const Interval wh = r.hulls[f.w.value];
+  EXPECT_NEAR(wh.lo(), 2.5, 1e-4);
+  EXPECT_DOUBLE_EQ(wh.hi(), 10.0);
+  // gain in [50, 40*10*0.5] = [50, 200].
+  const Interval gh = r.hulls[f.gain.value];
+  EXPECT_NEAR(gh.lo(), 50.0, 1e-3);
+  EXPECT_NEAR(gh.hi(), 200.0, 1e-3);
+  // power in [20*2.5, 200] = [50, 200].
+  const Interval ph = r.hulls[f.power.value];
+  EXPECT_NEAR(ph.lo(), 50.0, 1e-3);
+  EXPECT_NEAR(ph.hi(), 200.0, 1e-3);
+  EXPECT_GT(r.evaluations, 0u);
+  EXPECT_EQ(f.net.evaluationCount(), r.evaluations);
+}
+
+TEST(Propagator, BindingPropagatesThroughModels) {
+  LnaFixture f;
+  f.net.bind(f.w, 4.0);
+  Propagator prop;
+  const PropagationResult r = prop.run(f.net);
+  EXPECT_FALSE(r.anyViolation());
+  // power = 80 exactly.
+  EXPECT_NEAR(r.hulls[f.power.value].lo(), 80.0, 1e-4);
+  EXPECT_NEAR(r.hulls[f.power.value].hi(), 80.0, 1e-4);
+  // gain = 160 * L in [8, 80], clipped by gain >= 50 -> [50, 80].
+  EXPECT_NEAR(r.hulls[f.gain.value].lo(), 50.0, 1e-4);
+  EXPECT_NEAR(r.hulls[f.gain.value].hi(), 80.0, 1e-4);
+  // L >= 50/160 = 0.3125.
+  EXPECT_NEAR(r.hulls[f.l.value].lo(), 0.3125, 1e-5);
+}
+
+TEST(Propagator, DetectsViolationFromBoundValues) {
+  LnaFixture f;
+  f.net.bind(f.w, 9.0);  // power = 180 fine
+  f.net.bind(f.power, 300.0);  // contradicts power-model AND power-spec
+  Propagator prop;
+  const PropagationResult r = prop.run(f.net);
+  EXPECT_TRUE(r.anyViolation());
+  const auto modelId = *f.net.findConstraint("power-model");
+  const auto specId = *f.net.findConstraint("power-spec");
+  EXPECT_TRUE(r.isViolated(modelId));
+  EXPECT_TRUE(r.isViolated(specId));
+  // The gain side of the network is untouched by the power conflict.
+  EXPECT_FALSE(r.isViolated(*f.net.findConstraint("gain-spec")));
+}
+
+TEST(Propagator, ViolatedConstraintDoesNotPoisonDomains) {
+  LnaFixture f;
+  f.net.bind(f.power, 300.0);  // violates power-spec outright
+  Propagator prop;
+  const PropagationResult r = prop.run(f.net);
+  EXPECT_TRUE(r.isViolated(*f.net.findConstraint("power-spec")));
+  // W's feasible range must not be emptied by the violated spec; the
+  // power-model equality ties W to 15, outside [0.5,10]... which makes the
+  // model violated too, leaving W at its initial range.
+  EXPECT_FALSE(r.feasible[f.w.value].empty());
+}
+
+TEST(Propagator, FeasibleDomainsRespectInitialShape) {
+  Network net;
+  const PropertyId n = net.addProperty(
+      {"n-stages", "amp", Domain::discrete({1, 2, 3, 4, 5, 6}), "", {}});
+  const PropertyId g = net.addProperty(
+      {"gain", "amp", Domain::continuous(0, 100), "dB", {}});
+  // gain = 12 * n_stages; gain <= 40  =>  n <= 3.33  =>  n in {1,2,3}.
+  net.addConstraint("model", net.var(g), Relation::Eq, 12.0 * net.var(n));
+  net.addConstraint("spec", net.var(g), Relation::Le, expr::Expr::constant(40.0));
+  Propagator prop;
+  const PropagationResult r = prop.run(net);
+  ASSERT_TRUE(r.feasible[n.value].isDiscrete());
+  EXPECT_EQ(r.feasible[n.value].values(), (std::vector<double>{1, 2, 3}));
+}
+
+TEST(Propagator, SinglePassDoesLessWorkThanFixpoint) {
+  LnaFixture fixedpoint;
+  LnaFixture single;
+  Propagator full{Propagator::Options{.fixpoint = true}};
+  Propagator once{Propagator::Options{.fixpoint = false}};
+  const auto rFull = full.run(fixedpoint.net);
+  const auto rOnce = once.run(single.net);
+  EXPECT_LE(rOnce.evaluations, rFull.evaluations);
+  // Single pass must still be sound: its hulls contain the fixpoint hulls.
+  for (std::size_t i = 0; i < rFull.hulls.size(); ++i) {
+    EXPECT_TRUE(rOnce.hulls[i].inflate(1e-9, 1e-9).contains(rFull.hulls[i]))
+        << "var " << i;
+  }
+}
+
+TEST(Propagator, RevisesAreBounded) {
+  // A slowly-converging contraction must terminate via the revise cap.
+  Network net;
+  const PropertyId x = net.addProperty(
+      {"x", "o", Domain::continuous(0, 1e9), "", {}});
+  // x <= 0.999999 * x  only satisfiable at x = 0; bound convergence is slow.
+  net.addConstraint("contract", net.var(x), Relation::Le,
+                    0.999999 * net.var(x));
+  Propagator prop{Propagator::Options{.maxRevisesPerConstraint = 50}};
+  const auto r = prop.run(net);
+  EXPECT_LE(r.evaluations, 50u);
+}
+
+TEST(Propagator, RunRelaxedRestoresInitialRange) {
+  LnaFixture f;
+  f.net.bind(f.w, 2.0);  // gain-spec forces W >= 2.5: W=2.0 conflicts
+  Propagator prop;
+  const auto strict = prop.run(f.net);
+  // With W pinned at 2, gain = 80*L in [4,40] < 50: gain-spec or model
+  // becomes violated.
+  EXPECT_TRUE(strict.anyViolation());
+
+  // Relaxing W shows the designer where W *could* go.
+  const auto relaxed = prop.runRelaxed(f.net, f.w);
+  EXPECT_FALSE(relaxed.anyViolation());
+  EXPECT_NEAR(relaxed.hulls[f.w.value].lo(), 2.5, 1e-4);
+}
+
+TEST(Propagator, DiscreteShavingRemovesUnsupportedInteriorValues) {
+  // gain = 12*n with gain required to be 24 or 60 exactly via two windows is
+  // hard to express; instead: m = n*n with m <= 20 and m >= 5 leaves
+  // n in {3, 4} — and also drops the *interior* value when a second
+  // constraint excludes it: n != 3 via 12/n <= 3.5 (n >= 3.43).
+  Network net;
+  const PropertyId n = net.addProperty(
+      {"n", "o", Domain::discrete({1, 2, 3, 4, 5, 6}), "", {}});
+  const PropertyId m = net.addProperty(
+      {"m", "o", Domain::continuous(0, 100), "", {}});
+  net.addConstraint("square", net.var(m), Relation::Eq,
+                    expr::sqr(net.var(n)));
+  net.addConstraint("hi", net.var(m), Relation::Le, expr::Expr::constant(20.0));
+  net.addConstraint("lo", net.var(m), Relation::Ge, expr::Expr::constant(5.0));
+  net.addConstraint("ratio", 12.0 / net.var(n), Relation::Le,
+                    expr::Expr::constant(3.5));
+
+  Propagator prop;
+  const auto r = prop.run(net);
+  // Hull consistency gives n in [sqrt5, sqrt20] ~ [2.24, 4.47] -> {3, 4};
+  // shaving against the ratio constraint removes 3.
+  ASSERT_TRUE(r.feasible[n.value].isDiscrete());
+  EXPECT_EQ(r.feasible[n.value].values(), (std::vector<double>{4}));
+}
+
+TEST(Propagator, DiscreteShavingCanBeDisabled) {
+  Network net;
+  const PropertyId n = net.addProperty(
+      {"n", "o", Domain::discrete({1, 2, 3, 4}), "", {}});
+  net.addConstraint("ratio", 12.0 / net.var(n), Relation::Le,
+                    expr::Expr::constant(3.5));
+  Propagator off{Propagator::Options{.filterDiscrete = false}};
+  const auto r = off.run(net);
+  // Interval projection on 12/n <= 3.5 narrows the hull to n >= 3.43,
+  // which already drops {1,2,3}; with a multi-variable constraint the
+  // difference shows, but here we just assert the toggle changes cost.
+  Propagator on;
+  Network net2;
+  const PropertyId n2 = net2.addProperty(
+      {"n", "o", Domain::discrete({1, 2, 3, 4}), "", {}});
+  net2.addConstraint("ratio", 12.0 / net2.var(n2), Relation::Le,
+                     expr::Expr::constant(3.5));
+  const auto r2 = on.run(net2);
+  EXPECT_LT(r.evaluations, r2.evaluations);  // shaving costs evaluations
+  EXPECT_EQ(r2.feasible[n2.value].values(), (std::vector<double>{4}));
+}
+
+// Propagation soundness at network level: a full random solution that
+// satisfies every constraint must survive propagation in every property's
+// feasible hull.
+class NetworkSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(NetworkSoundness, SolutionsSurvivePropagation) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 90001);
+  for (int iter = 0; iter < 50; ++iter) {
+    // Random "budget tree": x0 = x1 + x2, x1 = x3 + x4, bounds on leaves.
+    Network net;
+    std::vector<PropertyId> pid;
+    for (int i = 0; i < 5; ++i) {
+      pid.push_back(net.addProperty({"x" + std::to_string(i), "o",
+                                     Domain::continuous(0, 100), "", {}}));
+    }
+    net.addConstraint("sum0", net.var(pid[0]), Relation::Eq,
+                      net.var(pid[1]) + net.var(pid[2]));
+    net.addConstraint("sum1", net.var(pid[1]), Relation::Eq,
+                      net.var(pid[3]) + net.var(pid[4]));
+    const double cap = rng.uniform(40, 100);
+    net.addConstraint("cap", net.var(pid[0]), Relation::Le,
+                      expr::Expr::constant(cap));
+
+    // Construct a witness solution.
+    const double x3 = rng.uniform(0, cap / 4);
+    const double x4 = rng.uniform(0, cap / 4);
+    const double x2 = rng.uniform(0, cap / 2);
+    const double x1 = x3 + x4;
+    const double x0 = x1 + x2;
+
+    Propagator prop;
+    const auto r = prop.run(net);
+    EXPECT_FALSE(r.anyViolation());
+    const double witness[5] = {x0, x1, x2, x3, x4};
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_TRUE(r.hulls[static_cast<std::size_t>(i)]
+                      .inflate(1e-9, 1e-9)
+                      .contains(witness[i]))
+          << "var " << i << " witness " << witness[i];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkSoundness, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace adpm::constraint

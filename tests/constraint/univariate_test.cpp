@@ -1,0 +1,91 @@
+#include "constraint/univariate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adpm::constraint {
+namespace {
+
+using expr::Expr;
+using interval::Domain;
+using interval::IntervalSet;
+
+TEST(SolveUnivariate, SimpleBoundGivesOnePiece) {
+  Network net;
+  const PropertyId x = net.addProperty(
+      {"x", "o", Domain::continuous(0, 10), "", {}});
+  const ConstraintId c = net.addConstraint(
+      "cap", net.var(x), Relation::Le, Expr::constant(4.0));
+  const IntervalSet s = solveUnivariate(net, c, x);
+  ASSERT_EQ(s.pieceCount(), 1u);
+  EXPECT_NEAR(s.pieces()[0].lo(), 0.0, 1e-9);
+  EXPECT_NEAR(s.pieces()[0].hi(), 4.0, 0.2);  // slice-resolution edge
+}
+
+TEST(SolveUnivariate, AbsWindowGivesTwoLobes) {
+  // |x - 5| >= 3 over [0, 10]: lobes [0, 2] and [8, 10].
+  Network net;
+  const PropertyId x = net.addProperty(
+      {"x", "o", Domain::continuous(0, 10), "", {}});
+  const ConstraintId c = net.addConstraint(
+      "away", expr::abs(net.var(x) - 5.0), Relation::Ge, Expr::constant(3.0));
+  const IntervalSet s = solveUnivariate(net, c, x);
+  ASSERT_EQ(s.pieceCount(), 2u);
+  EXPECT_NEAR(s.pieces()[0].lo(), 0.0, 1e-9);
+  EXPECT_NEAR(s.pieces()[0].hi(), 2.0, 0.2);
+  EXPECT_NEAR(s.pieces()[1].lo(), 8.0, 0.2);
+  EXPECT_NEAR(s.pieces()[1].hi(), 10.0, 1e-9);
+  // The hull-based what-if would have reported [0, 10]; the set separates
+  // the lobes.
+  EXPECT_FALSE(s.contains(5.0));
+}
+
+TEST(SolveUnivariate, EvenPowerLobes) {
+  // x^2 >= 9 over [-5, 5]: lobes [-5, -3] and [3, 5].
+  Network net;
+  const PropertyId x = net.addProperty(
+      {"x", "o", Domain::continuous(-5, 5), "", {}});
+  const ConstraintId c = net.addConstraint(
+      "sq", expr::sqr(net.var(x)), Relation::Ge, Expr::constant(9.0));
+  const IntervalSet s = solveUnivariate(net, c, x);
+  ASSERT_EQ(s.pieceCount(), 2u);
+  EXPECT_LT(s.pieces()[0].hi(), -2.7);
+  EXPECT_GT(s.pieces()[1].lo(), 2.7);
+}
+
+TEST(SolveUnivariate, UsesOtherPropertiesCurrentState) {
+  // x + y <= 10 with y bound to 7: x in [0, 3].
+  Network net;
+  const PropertyId x = net.addProperty(
+      {"x", "o", Domain::continuous(0, 10), "", {}});
+  const PropertyId y = net.addProperty(
+      {"y", "o", Domain::continuous(0, 10), "", {}});
+  const ConstraintId c = net.addConstraint(
+      "sum", net.var(x) + net.var(y), Relation::Le, Expr::constant(10.0));
+  net.bind(y, 7.0);
+  const IntervalSet s = solveUnivariate(net, c, x);
+  ASSERT_EQ(s.pieceCount(), 1u);
+  EXPECT_NEAR(s.pieces()[0].hi(), 3.0, 0.2);
+}
+
+TEST(SolveUnivariate, InfeasibleGivesEmptySet) {
+  Network net;
+  const PropertyId x = net.addProperty(
+      {"x", "o", Domain::continuous(0, 10), "", {}});
+  const ConstraintId c = net.addConstraint(
+      "impossible", net.var(x), Relation::Ge, Expr::constant(20.0));
+  EXPECT_TRUE(solveUnivariate(net, c, x).empty());
+}
+
+TEST(SolveUnivariate, DoesNotChargeEvaluations) {
+  Network net;
+  const PropertyId x = net.addProperty(
+      {"x", "o", Domain::continuous(0, 10), "", {}});
+  const ConstraintId c = net.addConstraint(
+      "cap", net.var(x), Relation::Le, Expr::constant(4.0));
+  const std::size_t before = net.evaluationCount();
+  solveUnivariate(net, c, x);
+  EXPECT_EQ(net.evaluationCount(), before);
+}
+
+}  // namespace
+}  // namespace adpm::constraint

@@ -1,0 +1,90 @@
+#include "dddl/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace adpm::dddl {
+namespace {
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  const auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::End);
+}
+
+TEST(Lexer, IdentifiersAndStrings) {
+  const auto toks = lex(R"(scenario "Diff-pair-W" _x a.b)");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, TokenKind::Identifier);
+  EXPECT_EQ(toks[0].text, "scenario");
+  EXPECT_EQ(toks[1].kind, TokenKind::String);
+  EXPECT_EQ(toks[1].text, "Diff-pair-W");
+  EXPECT_EQ(toks[2].text, "_x");
+  EXPECT_EQ(toks[3].text, "a.b");
+}
+
+TEST(Lexer, Numbers) {
+  const auto toks = lex("0 3.5 1e3 2.5e-2 .75");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_DOUBLE_EQ(toks[0].number, 0.0);
+  EXPECT_DOUBLE_EQ(toks[1].number, 3.5);
+  EXPECT_DOUBLE_EQ(toks[2].number, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[3].number, 0.025);
+  EXPECT_DOUBLE_EQ(toks[4].number, 0.75);
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  const auto toks = lex("{ } [ ] ( ) , ; : = + - * / ^ <= >= ==");
+  const TokenKind expected[] = {
+      TokenKind::LBrace, TokenKind::RBrace, TokenKind::LBracket,
+      TokenKind::RBracket, TokenKind::LParen, TokenKind::RParen,
+      TokenKind::Comma, TokenKind::Semicolon, TokenKind::Colon,
+      TokenKind::Assign, TokenKind::Plus, TokenKind::Minus, TokenKind::Star,
+      TokenKind::Slash, TokenKind::Caret, TokenKind::Le, TokenKind::Ge,
+      TokenKind::EqEq, TokenKind::End};
+  ASSERT_EQ(toks.size(), std::size(expected));
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    EXPECT_EQ(toks[i].kind, expected[i]) << "token " << i;
+  }
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  const auto toks = lex("a // comment with , symbols <= \nb");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].line, 2);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto toks = lex("ab\n  cd");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].column, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].column, 3);
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  try {
+    lex("x \"abc");
+    FAIL() << "expected ParseError";
+  } catch (const adpm::ParseError& e) {
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_EQ(e.column(), 3);
+  }
+}
+
+TEST(Lexer, StrayCharacterThrows) {
+  EXPECT_THROW(lex("a ? b"), adpm::ParseError);
+  EXPECT_THROW(lex("a < b"), adpm::ParseError);   // strict < unsupported
+  EXPECT_THROW(lex("a > b"), adpm::ParseError);
+}
+
+TEST(Lexer, TokenKindNamesPrintable) {
+  EXPECT_STREQ(tokenKindName(TokenKind::Le), "'<='");
+  EXPECT_STREQ(tokenKindName(TokenKind::Identifier), "identifier");
+}
+
+}  // namespace
+}  // namespace adpm::dddl

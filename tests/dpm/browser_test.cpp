@@ -1,0 +1,154 @@
+#include "dpm/browser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dpm/scenario.hpp"
+
+namespace adpm::dpm {
+namespace {
+
+using constraint::PropertyId;
+using constraint::Relation;
+using interval::Domain;
+
+// Replicates the shape of the paper's Fig. 2-4 walkthrough: an LNA+Mixer
+// object whose properties appear in gain / impedance / power constraints.
+ScenarioSpec lnaScenario() {
+  ScenarioSpec s;
+  s.name = "lna";
+  s.addObject("system");
+  s.addObject("LNA+Mixer", "system");
+  const auto w = s.addProperty("Diff-pair-W", "LNA+Mixer",
+                               Domain::continuous(1.0, 8.0), "um",
+                               {"Transistor", "Geometry"});
+  const auto l = s.addProperty("Freq-ind", "LNA+Mixer",
+                               Domain::continuous(0.05, 0.5), "uH",
+                               {"Transistor", "Geometry"});
+  const auto g = s.addProperty("LNA-gain", "LNA+Mixer",
+                               Domain::continuous(0, 500), "", {"Geometry"});
+  s.addConstraint({"LNAGain-C10", s.pvar(g), Relation::Eq,
+                   30.0 * s.pvar(w) * s.pvar(l), {}});
+  s.addConstraint({"TotalGain-C13", s.pvar(g), Relation::Ge,
+                   expr::Expr::constant(48.0), {}});
+  s.addConstraint({"LNA-Zin-C9", 120.0 / s.pvar(w), Relation::Le,
+                   expr::Expr::constant(40.0), {}});
+  s.addProblem({"LNA", "LNA+Mixer", "circuit-designer", {}, {w, l, g},
+                {0, 1, 2}, std::nullopt, {}, true});
+  return s;
+}
+
+Operation synth(const char* designer, std::uint32_t pid, double v) {
+  Operation op;
+  op.kind = OperatorKind::Synthesis;
+  op.problem = ProblemId{0};
+  op.designer = designer;
+  op.assignments.emplace_back(PropertyId{pid}, v);
+  return op;
+}
+
+TEST(ObjectBrowser, ShowsLevelsAndConsistentValues) {
+  DesignProcessManager dpm(DesignProcessManager::Options{.adpm = true});
+  instantiate(lnaScenario(), dpm);
+  dpm.execute(synth("circuit-designer", 1, 0.2));  // bind Freq-ind
+
+  const std::string view = renderObjectBrowser(dpm, "LNA+Mixer");
+  EXPECT_NE(view.find("Object name: LNA+Mixer"), std::string::npos);
+  EXPECT_NE(view.find("Version number:"), std::string::npos);
+  EXPECT_NE(view.find("Diff-pair-W"), std::string::npos);
+  EXPECT_NE(view.find("Abstraction Levels: Transistor,Geometry"),
+            std::string::npos);
+  EXPECT_NE(view.find("Consistent values:"), std::string::npos);
+  // Propagation has pinned the feasible window of W: gain>=48 with L=0.2
+  // means W >= 8.  The consistent-values text should reflect narrowing.
+  EXPECT_NE(view.find("(bound: 0.2)"), std::string::npos);
+}
+
+TEST(ObjectBrowser, VersionBumpsOnSynthesis) {
+  DesignProcessManager dpm(DesignProcessManager::Options{.adpm = true});
+  instantiate(lnaScenario(), dpm);
+  EXPECT_EQ(dpm.object("LNA+Mixer")->version, "1.0.1");
+  dpm.execute(synth("circuit-designer", 1, 0.2));
+  EXPECT_EQ(dpm.object("LNA+Mixer")->version, "1.0.2");
+  dpm.execute(synth("circuit-designer", 0, 3.5));
+  EXPECT_EQ(dpm.object("LNA+Mixer")->version, "1.0.3");
+  // Untouched objects keep their version.
+  EXPECT_EQ(dpm.object("system")->version, "1.0.1");
+}
+
+TEST(ObjectBrowser, UnknownObjectDegradesGracefully) {
+  DesignProcessManager dpm;
+  const std::string view = renderObjectBrowser(dpm, "ghost");
+  EXPECT_NE(view.find("unknown"), std::string::npos);
+}
+
+TEST(ConstraintBrowser, ShowsBetaAndConnectedViolations) {
+  DesignProcessManager dpm(DesignProcessManager::Options{.adpm = true});
+  instantiate(lnaScenario(), dpm);
+  // Paper Fig. 4: small W violates impedance (120/2.5 = 48 > 40) and the
+  // total gain requirement.
+  dpm.execute(synth("circuit-designer", 1, 0.2));
+  dpm.execute(synth("circuit-designer", 0, 2.5));
+
+  const std::string view = renderConstraintBrowser(dpm, "circuit-designer");
+  EXPECT_NE(view.find("CONSTRAINTS"), std::string::npos);
+  EXPECT_NE(view.find("PROPERTIES"), std::string::npos);
+  EXPECT_NE(view.find("Violated"), std::string::npos);
+  EXPECT_NE(view.find("P.Diff-pair-W"), std::string::npos);
+  EXPECT_NE(view.find("Connected violations"), std::string::npos);
+  // Diff-pair-W appears in 3 constraints (its beta).
+  EXPECT_NE(view.find("3"), std::string::npos);
+}
+
+TEST(ConstraintBrowser, ShowsRequiredWindowsForViolations) {
+  DesignProcessManager dpm(DesignProcessManager::Options{.adpm = true});
+  instantiate(lnaScenario(), dpm);
+  dpm.execute(synth("circuit-designer", 1, 0.2));
+  dpm.execute(synth("circuit-designer", 0, 2.5));  // impedance violated
+
+  const std::string view = renderConstraintBrowser(dpm, "circuit-designer");
+  EXPECT_NE(view.find("REQUIRED WINDOWS"), std::string::npos);
+  EXPECT_NE(view.find("required by LNA-Zin-C9"), std::string::npos);
+  // 120/W <= 40 alone requires W >= 3 from its initial range [1, 8].
+  EXPECT_NE(view.find("P.Diff-pair-W  [3, 8] required by LNA-Zin-C9"),
+            std::string::npos);
+}
+
+TEST(ConstraintBrowser, NoRequiredWindowsWhenClean) {
+  DesignProcessManager dpm(DesignProcessManager::Options{.adpm = true});
+  instantiate(lnaScenario(), dpm);
+  dpm.execute(synth("circuit-designer", 1, 0.2));
+  const std::string view = renderConstraintBrowser(dpm, "circuit-designer");
+  EXPECT_EQ(view.find("REQUIRED WINDOWS"), std::string::npos);
+}
+
+TEST(ConstraintBrowser, ConventionalModeShowsStaleness) {
+  DesignProcessManager dpm(DesignProcessManager::Options{.adpm = false});
+  instantiate(lnaScenario(), dpm);
+  dpm.execute(synth("circuit-designer", 0, 2.5));
+  const std::string view = renderConstraintBrowser(dpm, "circuit-designer");
+  EXPECT_NE(view.find("(stale)"), std::string::npos);
+  EXPECT_NE(view.find("<No value assigned>"), std::string::npos);
+}
+
+TEST(ProblemTree, RendersHierarchyWithStatuses) {
+  DesignProcessManager dpm(DesignProcessManager::Options{.adpm = true});
+  instantiate(lnaScenario(), dpm);
+  const std::string tree = renderProblemTree(dpm);
+  EXPECT_NE(tree.find("PROBLEMS"), std::string::npos);
+  EXPECT_NE(tree.find("LNA"), std::string::npos);
+  EXPECT_NE(tree.find("owner: circuit-designer"), std::string::npos);
+  EXPECT_NE(tree.find("[Ready]"), std::string::npos);
+}
+
+TEST(ConstraintBrowser, GlobalViewIncludesEverything) {
+  DesignProcessManager dpm(DesignProcessManager::Options{.adpm = true});
+  instantiate(lnaScenario(), dpm);
+  dpm.execute(synth("circuit-designer", 1, 0.2));
+  const std::string view = renderConstraintBrowser(dpm);
+  EXPECT_NE(view.find("LNAGain-C10"), std::string::npos);
+  EXPECT_NE(view.find("TotalGain-C13"), std::string::npos);
+  EXPECT_NE(view.find("LNA-Zin-C9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adpm::dpm

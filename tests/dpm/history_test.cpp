@@ -1,0 +1,159 @@
+#include "dpm/history.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dpm/manager.hpp"
+#include "dpm/scenario.hpp"
+#include "util/error.hpp"
+
+namespace adpm::dpm {
+namespace {
+
+using constraint::ConstraintId;
+using constraint::PropertyId;
+using constraint::Relation;
+using interval::Domain;
+
+ScenarioSpec tinyScenario() {
+  ScenarioSpec s;
+  s.name = "tiny";
+  s.addObject("sys");
+  s.addObject("a", "sys");
+  s.addObject("b", "sys");
+  const auto cap = s.addProperty("cap", "sys", Domain::continuous(10, 100));
+  const auto x = s.addProperty("x", "a", Domain::continuous(0, 100));
+  const auto y = s.addProperty("y", "b", Domain::continuous(0, 100));
+  s.addConstraint({"budget", s.pvar(x) + s.pvar(y), Relation::Le, s.pvar(cap), {}});
+  s.addProblem({"Top", "sys", "lead", {}, {cap}, {0}, std::nullopt, {}, true});
+  s.addProblem({"A", "a", "ana", {cap}, {x}, {}, std::optional<std::size_t>{0}, {}, true});
+  s.addProblem({"B", "b", "ben", {cap}, {y}, {}, std::optional<std::size_t>{0}, {}, true});
+  s.require(cap, 50.0);
+  return s;
+}
+
+Operation synth(std::uint32_t prob, const char* designer, std::uint32_t pid,
+                double v) {
+  Operation op;
+  op.kind = OperatorKind::Synthesis;
+  op.problem = ProblemId{prob};
+  op.designer = designer;
+  op.assignments.emplace_back(PropertyId{pid}, v);
+  return op;
+}
+
+class HistoryTest : public ::testing::Test {
+ protected:
+  HistoryTest() : dpm_(DesignProcessManager::Options{.adpm = true}) {
+    instantiate(tinyScenario(), dpm_);
+    dpm_.bootstrap();
+  }
+  DesignProcessManager dpm_;
+};
+
+TEST_F(HistoryTest, JournalsAssignmentsWithPreviousValues) {
+  dpm_.execute(synth(1, "ana", 1, 30.0));
+  dpm_.execute(synth(1, "ana", 1, 35.0));
+
+  const DesignHistory& h = dpm_.designHistory();
+  ASSERT_EQ(h.stages(), 2u);
+  const HistoryEntry& first = h.entry(1);
+  ASSERT_EQ(first.assignments.size(), 1u);
+  EXPECT_EQ(first.assignments[0].property, PropertyId{1});
+  EXPECT_FALSE(first.assignments[0].before.has_value());
+  EXPECT_EQ(first.assignments[0].after, 30.0);
+
+  const HistoryEntry& second = h.entry(2);
+  ASSERT_EQ(second.assignments.size(), 1u);
+  EXPECT_EQ(second.assignments[0].before, std::optional<double>(30.0));
+  EXPECT_EQ(second.assignments[0].after, 35.0);
+}
+
+TEST_F(HistoryTest, ValueAtReconstructsAnyStage) {
+  dpm_.execute(synth(1, "ana", 1, 30.0));
+  dpm_.execute(synth(2, "ben", 2, 10.0));
+  dpm_.execute(synth(1, "ana", 1, 20.0));
+
+  const DesignHistory& h = dpm_.designHistory();
+  EXPECT_EQ(h.valueAt(PropertyId{1}, 0), std::nullopt);
+  EXPECT_EQ(h.valueAt(PropertyId{1}, 1), std::optional<double>(30.0));
+  EXPECT_EQ(h.valueAt(PropertyId{1}, 2), std::optional<double>(30.0));
+  EXPECT_EQ(h.valueAt(PropertyId{1}, 3), std::optional<double>(20.0));
+  // Initial requirement bindings count as stage 0.
+  EXPECT_EQ(h.valueAt(PropertyId{0}, 0), std::optional<double>(50.0));
+}
+
+TEST_F(HistoryTest, TracksAssignmentStagesAndCounts) {
+  dpm_.execute(synth(1, "ana", 1, 30.0));
+  dpm_.execute(synth(2, "ben", 2, 10.0));
+  dpm_.execute(synth(1, "ana", 1, 20.0));
+
+  const DesignHistory& h = dpm_.designHistory();
+  EXPECT_EQ(h.assignmentStages(PropertyId{1}),
+            (std::vector<std::size_t>{1, 3}));
+  EXPECT_EQ(h.assignmentCount(PropertyId{1}), 2u);
+  EXPECT_EQ(h.assignmentCount(PropertyId{2}), 1u);
+  EXPECT_EQ(h.assignmentCount(PropertyId{0}), 0u);  // requirement: stage 0
+}
+
+TEST_F(HistoryTest, RecordsStatusTransitions) {
+  dpm_.execute(synth(1, "ana", 1, 30.0));
+  dpm_.execute(synth(2, "ben", 2, 40.0));  // 30 + 40 > 50: budget violated
+
+  const DesignHistory& h = dpm_.designHistory();
+  EXPECT_EQ(h.firstViolation(ConstraintId{0}), std::optional<std::size_t>(2));
+  EXPECT_EQ(h.violationsAfter(1), 0u);
+  EXPECT_EQ(h.violationsAfter(2), 1u);
+
+  Operation fix = synth(2, "ben", 2, 15.0);
+  fix.triggeredBy = ConstraintId{0};
+  dpm_.execute(fix);
+  EXPECT_EQ(h.violationsAfter(3), 0u);
+  // The resolution shows as a status change back from Violated.
+  bool sawResolution = false;
+  for (const StatusDelta& d : h.entry(3).statusChanges) {
+    if (d.before == constraint::Status::Violated &&
+        d.after != constraint::Status::Violated) {
+      sawResolution = true;
+    }
+  }
+  EXPECT_TRUE(sawResolution);
+}
+
+TEST_F(HistoryTest, SpinStagesAndPerDesignerQueries) {
+  dpm_.execute(synth(1, "ana", 1, 30.0));
+  dpm_.execute(synth(2, "ben", 2, 40.0));
+  Operation fix = synth(2, "ben", 2, 15.0);
+  fix.triggeredBy = ConstraintId{0};  // budget spans subsystems -> spin
+  dpm_.execute(fix);
+
+  const DesignHistory& h = dpm_.designHistory();
+  EXPECT_EQ(h.spinStages(), (std::vector<std::size_t>{3}));
+  EXPECT_EQ(h.stagesBy("ana"), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(h.stagesBy("ben"), (std::vector<std::size_t>{2, 3}));
+  EXPECT_TRUE(h.stagesBy("nobody").empty());
+}
+
+TEST_F(HistoryTest, RecordsProblemTransitions) {
+  dpm_.execute(synth(1, "ana", 1, 30.0));
+  // Problem A solved by its only output binding.
+  const DesignHistory& h = dpm_.designHistory();
+  bool sawSolved = false;
+  for (const ProblemDelta& d : h.entry(1).problemChanges) {
+    if (d.problem == ProblemId{1} && d.after == ProblemStatus::Solved) {
+      sawSolved = true;
+    }
+  }
+  EXPECT_TRUE(sawSolved);
+}
+
+TEST_F(HistoryTest, EntryValidatesStage) {
+  EXPECT_TRUE(dpm_.designHistory().empty());
+  EXPECT_THROW(dpm_.designHistory().entry(0), adpm::InvalidArgumentError);
+  EXPECT_THROW(dpm_.designHistory().entry(1), adpm::InvalidArgumentError);
+  dpm_.execute(synth(1, "ana", 1, 30.0));
+  EXPECT_NO_THROW(dpm_.designHistory().entry(1));
+  EXPECT_THROW(dpm_.designHistory().entry(2), adpm::InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace adpm::dpm

@@ -1,0 +1,291 @@
+#include "dpm/manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dpm/scenario.hpp"
+#include "util/error.hpp"
+
+namespace adpm::dpm {
+namespace {
+
+using constraint::ConstraintId;
+using constraint::PropertyId;
+using constraint::Relation;
+using constraint::Status;
+using interval::Domain;
+
+// Property/constraint/problem indices of the mini receiver (see
+// scenario_test.cpp for the full description).
+constexpr std::uint32_t kPm = 0, kGmin = 1, kPf = 2, kGf = 3, kPs = 4, kGs = 5;
+constexpr std::uint32_t kPower = 0, kGain = 1, kFeModel = 2, kFltModel = 3;
+
+ScenarioSpec miniReceiver() {
+  ScenarioSpec s;
+  s.name = "mini-receiver";
+  s.addObject("system");
+  s.addObject("frontend", "system");
+  s.addObject("filter", "system");
+  s.addProperty("P_M", "system", Domain::continuous(100, 300), "mW");
+  s.addProperty("G_min", "system", Domain::continuous(20, 100));
+  s.addProperty("P_f", "frontend", Domain::continuous(0, 200), "mW");
+  s.addProperty("G_f", "frontend", Domain::continuous(1, 20));
+  s.addProperty("P_s", "filter", Domain::continuous(0, 200), "mW");
+  s.addProperty("G_s", "filter", Domain::continuous(1, 20));
+  s.addConstraint({"power-budget", s.pvar(kPf) + s.pvar(kPs), Relation::Le,
+                   s.pvar(kPm), {}});
+  s.addConstraint({"gain-budget", s.pvar(kGf) * s.pvar(kGs), Relation::Ge,
+                   s.pvar(kGmin), {}});
+  s.addConstraint({"fe-power-model", s.pvar(kPf), Relation::Eq,
+                   10.0 * s.pvar(kGf), {}});
+  s.addConstraint({"flt-power-model", s.pvar(kPs), Relation::Eq,
+                   5.0 * s.pvar(kGs), {}});
+  s.addProblem({"Top", "system", "leader", {}, {kPm, kGmin},
+                {kPower, kGain}, std::nullopt, {}, true});
+  s.addProblem({"FE", "frontend", "alice", {kPm}, {kPf, kGf},
+                {kFeModel}, std::optional<std::size_t>{0}, {}, true});
+  s.addProblem({"FLT", "filter", "bob", {kPm}, {kPs, kGs},
+                {kFltModel}, std::optional<std::size_t>{0}, {}, true});
+  s.require(kPm, 150.0);
+  s.require(kGmin, 30.0);
+  return s;
+}
+
+Operation synth(ProblemId prob, const char* designer,
+                std::initializer_list<std::pair<std::uint32_t, double>> a) {
+  Operation op;
+  op.kind = OperatorKind::Synthesis;
+  op.problem = prob;
+  op.designer = designer;
+  for (const auto& [pid, v] : a) op.assignments.emplace_back(PropertyId{pid}, v);
+  return op;
+}
+
+Operation verify(ProblemId prob, const char* designer) {
+  Operation op;
+  op.kind = OperatorKind::Verification;
+  op.problem = prob;
+  op.designer = designer;
+  return op;
+}
+
+class AdpmManagerTest : public ::testing::Test {
+ protected:
+  AdpmManagerTest() : dpm_(DesignProcessManager::Options{.adpm = true}) {
+    instantiate(miniReceiver(), dpm_);
+  }
+  DesignProcessManager dpm_;
+};
+
+class ConventionalManagerTest : public ::testing::Test {
+ protected:
+  ConventionalManagerTest()
+      : dpm_(DesignProcessManager::Options{.adpm = false}) {
+    instantiate(miniReceiver(), dpm_);
+  }
+  DesignProcessManager dpm_;
+};
+
+TEST_F(AdpmManagerTest, SynthesisTriggersPropagationAndGuidance) {
+  EXPECT_EQ(dpm_.latestGuidance(), nullptr);  // no operation yet
+  const auto r = dpm_.execute(synth(ProblemId{1}, "alice", {{kGf, 10.0}}));
+
+  EXPECT_EQ(r.record.stage, 1u);
+  EXPECT_GT(r.record.evaluations, 0u);  // propagation ran
+  ASSERT_NE(dpm_.latestGuidance(), nullptr);
+
+  // fe-power-model pins P_f = 100.
+  const auto& g = dpm_.latestGuidance()->of(PropertyId{kPf});
+  EXPECT_NEAR(g.feasible.minValue(), 100.0, 1e-3);
+  EXPECT_NEAR(g.feasible.maxValue(), 100.0, 1e-3);
+
+  // gain-budget: G_s >= 30/10 = 3.
+  const auto& gs = dpm_.latestGuidance()->of(PropertyId{kGs});
+  EXPECT_NEAR(gs.feasible.minValue(), 3.0, 1e-4);
+}
+
+TEST_F(AdpmManagerTest, ViolationDetectedImmediately) {
+  // G_f = 2 keeps the gain budget reachable (2 * 20 = 40 >= 30); binding
+  // G_s = 5 then drops the product to 10 < 30, violating immediately.
+  dpm_.execute(synth(ProblemId{1}, "alice", {{kGf, 2.0}}));
+  EXPECT_EQ(dpm_.knownViolationCount(), 0u);  // G_s can still reach 15
+  const auto r = dpm_.execute(synth(ProblemId{2}, "bob", {{kGs, 5.0}}));
+  ASSERT_EQ(r.record.violationsFound.size(), 1u);
+  EXPECT_EQ(r.record.violationsFound[0].value, kGain);
+  EXPECT_EQ(dpm_.knownViolationCount(), 1u);
+}
+
+TEST_F(AdpmManagerTest, SpinClassification) {
+  dpm_.execute(synth(ProblemId{1}, "alice", {{kGf, 1.0}}));
+  dpm_.execute(synth(ProblemId{2}, "bob", {{kGs, 20.0}}));
+
+  // Repair triggered by the cross-subsystem gain violation: a spin.
+  Operation repair = synth(ProblemId{1}, "alice", {{kGf, 5.0}});
+  repair.triggeredBy = ConstraintId{kGain};
+  const auto r = dpm_.execute(repair);
+  EXPECT_TRUE(r.record.spin);
+  EXPECT_EQ(dpm_.knownViolationCount(), 0u);  // 5 * 20 = 100 >= 30
+
+  // Repair triggered by an internal model violation: not a spin.
+  Operation internal = synth(ProblemId{1}, "alice", {{kPf, 50.0}});
+  internal.triggeredBy = ConstraintId{kFeModel};
+  EXPECT_FALSE(dpm_.execute(internal).record.spin);
+}
+
+TEST_F(AdpmManagerTest, CompletesWhenEverythingBoundAndClean) {
+  EXPECT_FALSE(dpm_.designComplete());
+  dpm_.execute(synth(ProblemId{1}, "alice", {{kGf, 6.0}, {kPf, 60.0}}));
+  dpm_.execute(synth(ProblemId{2}, "bob", {{kGs, 6.0}, {kPs, 30.0}}));
+  // 60+30 <= 150, 36 >= 30, models hold (60 = 10*6, 30 = 5*6).
+  EXPECT_TRUE(dpm_.designComplete());
+  EXPECT_EQ(dpm_.problem(ProblemId{0}).status, ProblemStatus::Solved);
+  EXPECT_EQ(dpm_.problem(ProblemId{1}).status, ProblemStatus::Solved);
+}
+
+TEST_F(AdpmManagerTest, SolvedProblemReopensOnConflict) {
+  dpm_.execute(synth(ProblemId{1}, "alice", {{kGf, 6.0}, {kPf, 60.0}}));
+  EXPECT_EQ(dpm_.problem(ProblemId{1}).status, ProblemStatus::Solved);
+  // Bob binds values that break the power budget: 60 + 120 > 150; the FE
+  // problem stays solved (its own T_i is clean) but Top cannot solve.
+  dpm_.execute(synth(ProblemId{2}, "bob", {{kGs, 24.0}, {kPs, 120.0}}));
+  EXPECT_GT(dpm_.knownViolationCount(), 0u);
+  EXPECT_FALSE(dpm_.designComplete());
+  EXPECT_NE(dpm_.problem(ProblemId{0}).status, ProblemStatus::Solved);
+}
+
+TEST_F(ConventionalManagerTest, NoPropagationNoGuidance) {
+  const auto r = dpm_.execute(synth(ProblemId{1}, "alice", {{kGf, 1.0}}));
+  EXPECT_EQ(dpm_.latestGuidance(), nullptr);
+  EXPECT_EQ(r.record.evaluations, 0u);  // synthesis costs no tool run
+  // Even a conflicting pair of bindings goes unnoticed without verification.
+  dpm_.execute(synth(ProblemId{2}, "bob", {{kGs, 20.0}}));
+  EXPECT_EQ(dpm_.knownViolationCount(), 0u);
+}
+
+TEST_F(ConventionalManagerTest, VerificationEvaluatesOnlyBoundConstraints) {
+  dpm_.execute(synth(ProblemId{1}, "alice", {{kGf, 4.0}}));
+  // fe-power-model needs P_f too; with P_f unbound the tool cannot run.
+  const auto r = dpm_.execute(verify(ProblemId{1}, "alice"));
+  EXPECT_EQ(r.record.evaluations, 0u);
+
+  dpm_.execute(synth(ProblemId{1}, "alice", {{kPf, 40.0}}));
+  const auto r2 = dpm_.execute(verify(ProblemId{1}, "alice"));
+  EXPECT_EQ(r2.record.evaluations, 1u);
+  EXPECT_EQ(dpm_.knownStatuses()[kFeModel], Status::Satisfied);
+}
+
+TEST_F(ConventionalManagerTest, StalenessTracksRebinding) {
+  dpm_.execute(synth(ProblemId{1}, "alice", {{kGf, 4.0}, {kPf, 40.0}}));
+  dpm_.execute(verify(ProblemId{1}, "alice"));
+  EXPECT_FALSE(dpm_.isStale(ConstraintId{kFeModel}));
+
+  // Rebinding G_f invalidates the verified verdict.
+  dpm_.execute(synth(ProblemId{1}, "alice", {{kGf, 5.0}}));
+  EXPECT_TRUE(dpm_.isStale(ConstraintId{kFeModel}));
+  EXPECT_EQ(dpm_.knownStatuses()[kFeModel], Status::Consistent);
+}
+
+TEST_F(ConventionalManagerTest, LateConflictDiscoveredAtIntegration) {
+  // Both subsystems complete and locally verified, but the power budget is
+  // blown: the conflict emerges only at system-level verification.
+  dpm_.execute(synth(ProblemId{1}, "alice", {{kGf, 9.0}, {kPf, 90.0}}));
+  dpm_.execute(verify(ProblemId{1}, "alice"));
+  dpm_.execute(synth(ProblemId{2}, "bob", {{kGs, 16.0}, {kPs, 80.0}}));
+  dpm_.execute(verify(ProblemId{2}, "bob"));
+  EXPECT_EQ(dpm_.knownViolationCount(), 0u);
+  EXPECT_EQ(dpm_.problem(ProblemId{1}).status, ProblemStatus::Solved);
+  EXPECT_EQ(dpm_.problem(ProblemId{2}).status, ProblemStatus::Solved);
+  EXPECT_FALSE(dpm_.designComplete());  // cross constraints still stale
+
+  const auto r = dpm_.execute(verify(ProblemId{0}, "leader"));
+  EXPECT_EQ(r.record.evaluations, 2u);  // power-budget + gain-budget
+  ASSERT_EQ(r.record.violationsFound.size(), 1u);
+  EXPECT_EQ(r.record.violationsFound[0].value, kPower);  // 90+80 > 150
+}
+
+TEST_F(ConventionalManagerTest, CompletionRequiresFreshVerification) {
+  dpm_.execute(synth(ProblemId{1}, "alice", {{kGf, 6.0}, {kPf, 60.0}}));
+  dpm_.execute(verify(ProblemId{1}, "alice"));
+  dpm_.execute(synth(ProblemId{2}, "bob", {{kGs, 6.0}, {kPs, 30.0}}));
+  dpm_.execute(verify(ProblemId{2}, "bob"));
+  EXPECT_FALSE(dpm_.designComplete());  // budgets not yet verified
+  dpm_.execute(verify(ProblemId{0}, "leader"));
+  EXPECT_TRUE(dpm_.designComplete());
+}
+
+TEST_F(AdpmManagerTest, HistoryRecordsOperations) {
+  dpm_.execute(synth(ProblemId{1}, "alice", {{kGf, 6.0}}));
+  dpm_.execute(synth(ProblemId{2}, "bob", {{kGs, 6.0}}));
+  EXPECT_EQ(dpm_.stage(), 2u);
+  ASSERT_EQ(dpm_.history().size(), 2u);
+  EXPECT_EQ(dpm_.history()[0].stage, 1u);
+  EXPECT_EQ(dpm_.history()[1].op.designer, "bob");
+}
+
+TEST_F(AdpmManagerTest, CrossSubsystemDetection) {
+  EXPECT_TRUE(dpm_.crossSubsystem(ConstraintId{kPower}));
+  EXPECT_TRUE(dpm_.crossSubsystem(ConstraintId{kGain}));
+  EXPECT_FALSE(dpm_.crossSubsystem(ConstraintId{kFeModel}));
+}
+
+TEST_F(AdpmManagerTest, OwnershipResolution) {
+  EXPECT_EQ(dpm_.ownerOfObject("frontend"), "alice");
+  EXPECT_EQ(dpm_.ownerOfProperty(PropertyId{kPf}), "alice");
+  EXPECT_EQ(dpm_.ownerOfProperty(PropertyId{kPm}), "leader");
+  EXPECT_EQ(dpm_.ownerOfObject("nope"), "");
+}
+
+TEST_F(AdpmManagerTest, FailedAssignmentTabu) {
+  dpm_.recordFailedAssignment(PropertyId{kGf}, 2.0);
+  EXPECT_TRUE(dpm_.isFailedAssignment(PropertyId{kGf}, 2.0, 1e-9));
+  EXPECT_TRUE(dpm_.isFailedAssignment(PropertyId{kGf}, 2.05, 0.1));
+  EXPECT_FALSE(dpm_.isFailedAssignment(PropertyId{kGf}, 3.0, 0.1));
+  EXPECT_FALSE(dpm_.isFailedAssignment(PropertyId{kGs}, 2.0, 0.1));
+}
+
+TEST_F(AdpmManagerTest, ExecuteRejectsUnknownProblem) {
+  EXPECT_THROW(dpm_.execute(synth(ProblemId{9}, "x", {})),
+               adpm::InvalidArgumentError);
+}
+
+TEST(ManagerBuild, PredecessorOrderingCreatesWaiting) {
+  DesignProcessManager dpm;
+  dpm.addObject("o");
+  const auto x = dpm.addProperty({"x", "o", Domain::continuous(0, 1), "", {}});
+  const auto y = dpm.addProperty({"y", "o", Domain::continuous(0, 1), "", {}});
+  const auto first = dpm.addProblem({"first", "o", "d", {}, {x}, {},
+                                     std::nullopt, {}, true});
+  const auto second = dpm.addProblem({"second", "o", "d", {}, {y}, {},
+                                      std::nullopt, {first}, true});
+  EXPECT_EQ(dpm.problem(second).status, ProblemStatus::Waiting);
+
+  Operation op;
+  op.kind = OperatorKind::Synthesis;
+  op.problem = first;
+  op.designer = "d";
+  op.assignments.emplace_back(x, 0.5);
+  dpm.execute(op);
+  EXPECT_EQ(dpm.problem(first).status, ProblemStatus::Solved);
+  EXPECT_EQ(dpm.problem(second).status, ProblemStatus::Ready);
+}
+
+TEST(ManagerBuild, DecompositionReleasesChildren) {
+  DesignProcessManager dpm;
+  dpm.addObject("o");
+  const auto x = dpm.addProperty({"x", "o", Domain::continuous(0, 1), "", {}});
+  const auto parent = dpm.addProblem({"parent", "o", "d", {}, {x}, {},
+                                      std::nullopt, {}, true});
+  const auto child = dpm.addProblem({"child", "o", "d", {}, {x}, {},
+                                     parent, {}, false});
+  EXPECT_EQ(dpm.problem(child).status, ProblemStatus::Unassigned);
+
+  Operation op;
+  op.kind = OperatorKind::Decomposition;
+  op.problem = parent;
+  op.designer = "d";
+  dpm.execute(op);
+  EXPECT_EQ(dpm.problem(child).status, ProblemStatus::Ready);
+  EXPECT_EQ(dpm.problem(parent).status, ProblemStatus::InProgress);
+}
+
+}  // namespace
+}  // namespace adpm::dpm

@@ -1,0 +1,74 @@
+// Configuration of the Notification Manager's reduction threshold.
+#include <gtest/gtest.h>
+
+#include "dpm/manager.hpp"
+#include "dpm/scenario.hpp"
+
+namespace adpm::dpm {
+namespace {
+
+using constraint::PropertyId;
+using constraint::Relation;
+using interval::Domain;
+
+ScenarioSpec capScenario() {
+  ScenarioSpec s;
+  s.name = "cap";
+  s.addObject("sys");
+  s.addObject("a", "sys");
+  const auto cap = s.addProperty("cap", "sys", Domain::continuous(10, 100));
+  const auto x = s.addProperty("x", "a", Domain::continuous(0, 100));
+  s.addConstraint({"spec", s.pvar(x), Relation::Le, s.pvar(cap), {}});
+  s.addProblem({"Top", "sys", "lead", {}, {cap}, {0}, std::nullopt, {}, true});
+  s.addProblem({"A", "a", "ana", {cap}, {x}, {}, std::optional<std::size_t>{0},
+                {}, true});
+  s.require(cap, 90.0);
+  return s;
+}
+
+Operation tighten(double value) {
+  Operation op;
+  op.kind = OperatorKind::Synthesis;
+  op.problem = ProblemId{0};
+  op.designer = "lead";
+  op.assignments.emplace_back(PropertyId{0}, value);
+  return op;
+}
+
+std::size_t reductionsSeen(DesignProcessManager& dpm, double newCap) {
+  dpm.bootstrap();
+  dpm.execute(tighten(89.0));  // establish baseline guidance diff state
+  const auto r = dpm.execute(tighten(newCap));
+  std::size_t count = 0;
+  for (const auto& n : r.notifications) {
+    if (n.kind == NotificationKind::FeasibleSubspaceReduced) ++count;
+  }
+  return count;
+}
+
+TEST(NotificationSizes, DefaultThresholdFiresOnSharpReduction) {
+  DesignProcessManager dpm(DesignProcessManager::Options{.adpm = true});
+  instantiate(capScenario(), dpm);
+  EXPECT_GE(reductionsSeen(dpm, 20.0), 1u);  // x's window shrinks ~78%
+}
+
+TEST(NotificationSizes, LooseThresholdIgnoresSmallReduction) {
+  DesignProcessManager::Options options;
+  options.adpm = true;
+  options.nm.reductionThreshold = 0.5;  // only report halvings
+  DesignProcessManager dpm(options);
+  instantiate(capScenario(), dpm);
+  EXPECT_EQ(reductionsSeen(dpm, 85.0), 0u);  // a ~4% shrink stays quiet
+}
+
+TEST(NotificationSizes, TightThresholdReportsEverything) {
+  DesignProcessManager::Options options;
+  options.adpm = true;
+  options.nm.reductionThreshold = 0.9999;
+  DesignProcessManager dpm(options);
+  instantiate(capScenario(), dpm);
+  EXPECT_GE(reductionsSeen(dpm, 85.0), 1u);
+}
+
+}  // namespace
+}  // namespace adpm::dpm

@@ -1,0 +1,154 @@
+#include "dpm/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace adpm::dpm {
+namespace {
+
+using constraint::Relation;
+using interval::Domain;
+
+// A miniature two-subsystem receiver used across the dpm tests: a front-end
+// and a filter designed concurrently under shared power and gain budgets.
+ScenarioSpec miniReceiver() {
+  ScenarioSpec s;
+  s.name = "mini-receiver";
+  s.addObject("system");
+  s.addObject("frontend", "system");
+  s.addObject("filter", "system");
+
+  const auto pm = s.addProperty("P_M", "system", Domain::continuous(100, 300), "mW");
+  const auto gmin = s.addProperty("G_min", "system", Domain::continuous(20, 100));
+  const auto pf = s.addProperty("P_f", "frontend", Domain::continuous(0, 200), "mW");
+  const auto gf = s.addProperty("G_f", "frontend", Domain::continuous(1, 20));
+  const auto ps = s.addProperty("P_s", "filter", Domain::continuous(0, 200), "mW");
+  const auto gs = s.addProperty("G_s", "filter", Domain::continuous(1, 20));
+
+  s.addConstraint({"power-budget", s.pvar(pf) + s.pvar(ps), Relation::Le,
+                   s.pvar(pm),
+                   {{pf, false}, {ps, false}, {pm, true}}});
+  s.addConstraint({"gain-budget", s.pvar(gf) * s.pvar(gs), Relation::Ge,
+                   s.pvar(gmin),
+                   {{gf, true}, {gs, true}, {gmin, false}}});
+  s.addConstraint({"fe-power-model", s.pvar(pf), Relation::Eq,
+                   10.0 * s.pvar(gf), {}});
+  s.addConstraint({"flt-power-model", s.pvar(ps), Relation::Eq,
+                   5.0 * s.pvar(gs), {}});
+
+  const auto top = s.addProblem({"Top", "system", "leader",
+                                 {}, {pm, gmin},
+                                 {*s.constraintIndex("power-budget"),
+                                  *s.constraintIndex("gain-budget")},
+                                 std::nullopt, {}, true});
+  s.addProblem({"FE", "frontend", "alice",
+                {pm}, {pf, gf},
+                {*s.constraintIndex("fe-power-model")},
+                top, {}, true});
+  s.addProblem({"FLT", "filter", "bob",
+                {pm}, {ps, gs},
+                {*s.constraintIndex("flt-power-model")},
+                top, {}, true});
+
+  s.require(pm, 150.0);
+  s.require(gmin, 30.0);
+  return s;
+}
+
+TEST(ScenarioSpec, ValidSpecPassesValidation) {
+  const ScenarioSpec s = miniReceiver();
+  EXPECT_TRUE(s.validate().empty());
+}
+
+TEST(ScenarioSpec, LookupsByName) {
+  const ScenarioSpec s = miniReceiver();
+  EXPECT_EQ(s.propertyIndex("P_f"), 2u);
+  EXPECT_EQ(s.constraintIndex("gain-budget"), 1u);
+  EXPECT_EQ(s.problemIndex("FLT"), 2u);
+  EXPECT_FALSE(s.propertyIndex("nope").has_value());
+  EXPECT_FALSE(s.constraintIndex("nope").has_value());
+  EXPECT_FALSE(s.problemIndex("nope").has_value());
+}
+
+TEST(ScenarioSpec, PvarNamesVariables) {
+  const ScenarioSpec s = miniReceiver();
+  EXPECT_EQ(s.pvar(0).str(), "P_M");
+  EXPECT_THROW(s.pvar(99), adpm::InvalidArgumentError);
+}
+
+TEST(ScenarioSpec, ValidationCatchesDanglingReferences) {
+  ScenarioSpec s;
+  s.name = "broken";
+  s.addObject("o");
+  s.addObject("o");  // duplicate
+  s.addProperty("x", "ghost", Domain::continuous(0, 1));
+  s.addProperty("x", "o", Domain::continuous(0, 1));  // duplicate name
+  s.addProperty("empty", "o", Domain::continuous(1, 0));  // empty range
+  s.addConstraint({"c", expr::Expr::variable(42), constraint::Relation::Le,
+                   expr::Expr::constant(0.0), {{9, true}}});
+  s.addProblem({"p", "ghost", "", {7}, {8}, {5}, std::nullopt, {4}, true});
+  s.require(99, 0.0);
+
+  const auto errors = s.validate();
+  EXPECT_GE(errors.size(), 9u);
+}
+
+TEST(Instantiate, BuildsManagerWithDenseIds) {
+  const ScenarioSpec s = miniReceiver();
+  DesignProcessManager dpm;
+  instantiate(s, dpm);
+
+  EXPECT_EQ(dpm.network().propertyCount(), 6u);
+  EXPECT_EQ(dpm.network().constraintCount(), 4u);
+  EXPECT_EQ(dpm.problemIds().size(), 3u);
+  EXPECT_EQ(dpm.network().property(constraint::PropertyId{0}).name, "P_M");
+  EXPECT_EQ(dpm.problem(ProblemId{0}).name, "Top");
+  EXPECT_EQ(dpm.problem(ProblemId{1}).owner, "alice");
+
+  // Requirements were bound at initialisation.
+  EXPECT_TRUE(dpm.network().property(constraint::PropertyId{0}).bound());
+  EXPECT_EQ(*dpm.network().property(constraint::PropertyId{0}).value, 150.0);
+
+  // Declared monotonicity survived instantiation.
+  const auto& gain = dpm.network().constraint(constraint::ConstraintId{1});
+  EXPECT_EQ(gain.declaredHelpDirection(constraint::PropertyId{3}), 1);
+  EXPECT_EQ(gain.declaredHelpDirection(constraint::PropertyId{1}), -1);
+}
+
+TEST(Instantiate, RejectsNonEmptyManager) {
+  const ScenarioSpec s = miniReceiver();
+  DesignProcessManager dpm;
+  instantiate(s, dpm);
+  EXPECT_THROW(instantiate(s, dpm), adpm::InvalidArgumentError);
+}
+
+TEST(Instantiate, RejectsInvalidSpec) {
+  ScenarioSpec s;
+  s.name = "broken";
+  s.addProperty("x", "ghost", Domain::continuous(0, 1));
+  DesignProcessManager dpm;
+  EXPECT_THROW(instantiate(s, dpm), adpm::InvalidArgumentError);
+}
+
+TEST(Instantiate, ObjectHierarchyPreserved) {
+  const ScenarioSpec s = miniReceiver();
+  DesignProcessManager dpm;
+  instantiate(s, dpm);
+  const DesignObject* fe = dpm.object("frontend");
+  ASSERT_NE(fe, nullptr);
+  EXPECT_EQ(fe->parent, "system");
+  EXPECT_EQ(fe->properties.size(), 2u);
+  EXPECT_EQ(dpm.object("nope"), nullptr);
+}
+
+TEST(Instantiate, DesignersEnumerated) {
+  const ScenarioSpec s = miniReceiver();
+  DesignProcessManager dpm;
+  instantiate(s, dpm);
+  const auto names = dpm.designers();
+  EXPECT_EQ(names.size(), 3u);  // leader, alice, bob
+}
+
+}  // namespace
+}  // namespace adpm::dpm

@@ -1,0 +1,165 @@
+// Constraint generation during the process (paper §2.2: "this DPM also
+// generates any necessary constraints and incorporates them in C_n") and the
+// decomposition operator that triggers it.
+#include <gtest/gtest.h>
+
+#include "dpm/manager.hpp"
+#include "dpm/scenario.hpp"
+#include "util/error.hpp"
+
+namespace adpm::dpm {
+namespace {
+
+using constraint::ConstraintId;
+using constraint::PropertyId;
+using constraint::Relation;
+using constraint::Status;
+using interval::Domain;
+
+ScenarioSpec stagedScenario() {
+  ScenarioSpec s;
+  s.name = "staged";
+  s.addObject("sys");
+  s.addObject("child", "sys");
+  const auto cap = s.addProperty("cap", "sys", Domain::continuous(10, 100));
+  const auto x = s.addProperty("x", "child", Domain::continuous(0, 100));
+  const auto y = s.addProperty("y", "child", Domain::continuous(0, 100));
+  // Top-level spec exists from the start.
+  const auto budget = s.addConstraint(
+      {"budget", s.pvar(x) + s.pvar(y), Relation::Le, s.pvar(cap), {}});
+  // The child's internal model is generated when the child is released.
+  const auto model = s.addConstraint(
+      {"model", s.pvar(y), Relation::Eq, 2.0 * s.pvar(x), {}});
+  const auto top = s.addProblem({"Top", "sys", "lead", {}, {cap}, {budget},
+                                 std::nullopt, {}, true});
+  const auto child = s.addProblem({"Child", "child", "dana", {cap}, {x, y},
+                                   {model}, top, {}, /*startReady=*/false});
+  s.constraints[model].generatedBy = child;
+  s.require(cap, 50.0);
+  return s;
+}
+
+TEST(StagedConstraints, InactiveUntilDecomposition) {
+  DesignProcessManager mgr(DesignProcessManager::Options{.adpm = true});
+  instantiate(stagedScenario(), mgr);
+
+  // Both constraints are registered (stable ids) but only the budget is
+  // active before decomposition.
+  EXPECT_EQ(mgr.network().constraintCount(), 2u);
+  EXPECT_EQ(mgr.network().activeConstraintCount(), 1u);
+  EXPECT_TRUE(mgr.network().isActive(ConstraintId{0}));
+  EXPECT_FALSE(mgr.network().isActive(ConstraintId{1}));
+  EXPECT_EQ(mgr.problem(ProblemId{1}).status, ProblemStatus::Unassigned);
+
+  Operation decompose;
+  decompose.kind = OperatorKind::Decomposition;
+  decompose.problem = ProblemId{0};
+  decompose.designer = "lead";
+  const auto r = mgr.execute(decompose);
+
+  EXPECT_EQ(mgr.problem(ProblemId{1}).status, ProblemStatus::Ready);
+  EXPECT_EQ(mgr.network().activeConstraintCount(), 2u);
+  ASSERT_EQ(r.record.constraintsGenerated.size(), 1u);
+  EXPECT_EQ(r.record.constraintsGenerated[0], ConstraintId{1});
+}
+
+TEST(StagedConstraints, InactiveConstraintIsInvisibleToEvaluation) {
+  DesignProcessManager mgr(DesignProcessManager::Options{.adpm = true});
+  instantiate(stagedScenario(), mgr);
+  EXPECT_THROW(mgr.network().evaluate(ConstraintId{1}),
+               adpm::InvalidArgumentError);
+
+  // Propagation ignores the staged model: y is not pinned to 2x yet.
+  constraint::Propagator prop;
+  const auto result = prop.run(mgr.network());
+  EXPECT_NEAR(result.hulls[2].hi(), 50.0, 1e-3);  // only the budget narrows y
+}
+
+TEST(StagedConstraints, GeneratedConstraintParticipatesAfterwards) {
+  DesignProcessManager mgr(DesignProcessManager::Options{.adpm = true});
+  instantiate(stagedScenario(), mgr);
+
+  Operation decompose;
+  decompose.kind = OperatorKind::Decomposition;
+  decompose.problem = ProblemId{0};
+  decompose.designer = "lead";
+  mgr.execute(decompose);
+
+  // Bind x; the generated model must now pin y = 2x in the guidance.
+  Operation bind;
+  bind.kind = OperatorKind::Synthesis;
+  bind.problem = ProblemId{1};
+  bind.designer = "dana";
+  bind.assignments.emplace_back(PropertyId{1}, 10.0);
+  mgr.execute(bind);
+  ASSERT_NE(mgr.latestGuidance(), nullptr);
+  const auto& gy = mgr.latestGuidance()->of(PropertyId{2});
+  EXPECT_NEAR(gy.feasible.minValue(), 20.0, 1e-4);
+  EXPECT_NEAR(gy.feasible.maxValue(), 20.0, 1e-4);
+}
+
+TEST(StagedConstraints, DesignIncompleteWhileConstraintsStaged) {
+  DesignProcessManager mgr(DesignProcessManager::Options{.adpm = true});
+  instantiate(stagedScenario(), mgr);
+  // Even if we bound everything directly, completion requires the staged
+  // constraint to have been generated.
+  mgr.network().bind(PropertyId{1}, 10.0);
+  mgr.network().bind(PropertyId{2}, 20.0);
+  EXPECT_FALSE(mgr.designComplete());
+}
+
+TEST(StagedConstraints, ConventionalFlowStaleOnlyOnceGenerated) {
+  DesignProcessManager mgr(DesignProcessManager::Options{.adpm = false});
+  instantiate(stagedScenario(), mgr);
+  // The staged model is not stale (it does not exist yet); the budget is.
+  EXPECT_TRUE(mgr.isStale(ConstraintId{0}));
+  EXPECT_FALSE(mgr.isStale(ConstraintId{1}));
+
+  Operation decompose;
+  decompose.kind = OperatorKind::Decomposition;
+  decompose.problem = ProblemId{0};
+  decompose.designer = "lead";
+  mgr.execute(decompose);
+  EXPECT_TRUE(mgr.isStale(ConstraintId{1}));  // generated, never verified
+}
+
+TEST(StagedConstraints, FullSimulationCompletesWithGeneration) {
+  for (const bool adpm : {false, true}) {
+    DesignProcessManager mgr(
+        DesignProcessManager::Options{.adpm = adpm});
+    instantiate(stagedScenario(), mgr);
+    mgr.bootstrap();
+
+    // Drive by hand: decompose, bind x and y consistently, verify.
+    Operation decompose;
+    decompose.kind = OperatorKind::Decomposition;
+    decompose.problem = ProblemId{0};
+    decompose.designer = "lead";
+    mgr.execute(decompose);
+
+    Operation bind;
+    bind.kind = OperatorKind::Synthesis;
+    bind.problem = ProblemId{1};
+    bind.designer = "dana";
+    bind.assignments.emplace_back(PropertyId{1}, 10.0);
+    bind.assignments.emplace_back(PropertyId{2}, 20.0);
+    mgr.execute(bind);
+
+    if (!adpm) {
+      Operation verifyChild;
+      verifyChild.kind = OperatorKind::Verification;
+      verifyChild.problem = ProblemId{1};
+      verifyChild.designer = "dana";
+      mgr.execute(verifyChild);
+      Operation verifyTop;
+      verifyTop.kind = OperatorKind::Verification;
+      verifyTop.problem = ProblemId{0};
+      verifyTop.designer = "lead";
+      mgr.execute(verifyTop);
+    }
+    EXPECT_TRUE(mgr.designComplete()) << "adpm=" << adpm;
+  }
+}
+
+}  // namespace
+}  // namespace adpm::dpm

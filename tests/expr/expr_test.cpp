@@ -1,0 +1,111 @@
+#include "expr/expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace adpm::expr {
+namespace {
+
+TEST(Expr, InvalidByDefault) {
+  Expr e;
+  EXPECT_FALSE(e.valid());
+  EXPECT_THROW(e.node(), adpm::InvalidArgumentError);
+}
+
+TEST(Expr, ConstantAndVariable) {
+  const Expr c = Expr::constant(3.5);
+  EXPECT_EQ(c.kind(), OpKind::Const);
+  EXPECT_EQ(c.node().value, 3.5);
+
+  const Expr v = Expr::variable(7, "width");
+  EXPECT_EQ(v.kind(), OpKind::Var);
+  EXPECT_EQ(v.node().var, 7u);
+  EXPECT_EQ(v.node().name, "width");
+}
+
+TEST(Expr, OperatorsBuildExpectedShapes) {
+  const Expr x = Expr::variable(0, "x");
+  const Expr y = Expr::variable(1, "y");
+  EXPECT_EQ((x + y).kind(), OpKind::Add);
+  EXPECT_EQ((x - y).kind(), OpKind::Sub);
+  EXPECT_EQ((x * y).kind(), OpKind::Mul);
+  EXPECT_EQ((x / y).kind(), OpKind::Div);
+  EXPECT_EQ((-x).kind(), OpKind::Neg);
+  EXPECT_EQ(sqrt(x).kind(), OpKind::Sqrt);
+  EXPECT_EQ(sqr(x).kind(), OpKind::Sqr);
+  EXPECT_EQ(pow(x, 3).kind(), OpKind::Pow);
+  EXPECT_EQ(pow(x, 3).node().exponent, 3);
+  EXPECT_EQ(exp(x).kind(), OpKind::Exp);
+  EXPECT_EQ(log(x).kind(), OpKind::Log);
+  EXPECT_EQ(abs(x).kind(), OpKind::Abs);
+  EXPECT_EQ(min(x, y).kind(), OpKind::Min);
+  EXPECT_EQ(max(x, y).kind(), OpKind::Max);
+}
+
+TEST(Expr, ScalarOverloads) {
+  const Expr x = Expr::variable(0, "x");
+  const Expr e = 2.0 * x + 1.0;
+  EXPECT_EQ(e.kind(), OpKind::Add);
+  EXPECT_EQ(e.node().children[1].node().value, 1.0);
+  EXPECT_EQ((x / 4.0).node().children[1].node().value, 4.0);
+  EXPECT_EQ((3.0 - x).node().children[0].node().value, 3.0);
+}
+
+TEST(Expr, ArityIsEnforced) {
+  EXPECT_THROW(Expr::make(OpKind::Add, {Expr::constant(1.0)}),
+               adpm::InvalidArgumentError);
+  EXPECT_THROW(Expr::make(OpKind::Sqrt, {}), adpm::InvalidArgumentError);
+  EXPECT_THROW(Expr::make(OpKind::Add, {Expr::constant(1.0), Expr{}}),
+               adpm::InvalidArgumentError);
+}
+
+TEST(Expr, VariablesOfDeduplicatesAndSorts) {
+  const Expr x = Expr::variable(4, "x");
+  const Expr y = Expr::variable(1, "y");
+  const Expr e = x * y + x - y;
+  EXPECT_EQ(variablesOf(e), (std::vector<VarId>{1, 4}));
+  EXPECT_EQ(variableSpan(e), 5u);
+  EXPECT_EQ(variableSpan(Expr::constant(1.0)), 0u);
+}
+
+TEST(Expr, Mentions) {
+  const Expr x = Expr::variable(0);
+  const Expr y = Expr::variable(1);
+  const Expr e = sqrt(x) + 2.0;
+  EXPECT_TRUE(mentions(e, 0));
+  EXPECT_FALSE(mentions(e, 1));
+  EXPECT_TRUE(mentions(e + y, 1));
+}
+
+TEST(Expr, SameAsIsStructural) {
+  const Expr x = Expr::variable(0, "x");
+  const Expr a = 2.0 * x + 1.0;
+  const Expr b = 2.0 * Expr::variable(0, "x") + 1.0;
+  EXPECT_TRUE(a.sameAs(b));
+  const Expr c = 2.0 * x + 2.0;
+  EXPECT_FALSE(a.sameAs(c));
+  EXPECT_FALSE(a.sameAs(x));
+}
+
+TEST(Expr, StrRendersReadableText) {
+  const Expr x = Expr::variable(0, "x");
+  const Expr y = Expr::variable(1, "y");
+  EXPECT_EQ((x + y).str(), "x + y");
+  EXPECT_EQ(((x + y) * x).str(), "(x + y) * x");
+  EXPECT_EQ((x - (y - x)).str(), "x - (y - x)");
+  EXPECT_EQ(sqrt(x).str(), "sqrt(x)");
+  EXPECT_EQ(pow(x, 2).str(), "x^2");
+  EXPECT_EQ(min(x, y).str(), "min(x, y)");
+  EXPECT_EQ(Expr::variable(3).str(), "v3");  // unnamed fallback
+}
+
+TEST(Expr, OpNameAndArityTables) {
+  EXPECT_STREQ(opName(OpKind::Mul), "mul");
+  EXPECT_EQ(arity(OpKind::Const), 0);
+  EXPECT_EQ(arity(OpKind::Neg), 1);
+  EXPECT_EQ(arity(OpKind::Max), 2);
+}
+
+}  // namespace
+}  // namespace adpm::expr

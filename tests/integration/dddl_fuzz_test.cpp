@@ -1,0 +1,78 @@
+// DDDL round-trip property: for random generated scenarios, write -> parse
+// must preserve the spec *semantically* — identical structure, structurally
+// equal constraint expressions, identical staging — and the reparsed
+// scenario must simulate identically (same seed => same trace).
+#include <gtest/gtest.h>
+
+#include "dddl/parser.hpp"
+#include "dddl/writer.hpp"
+#include "teamsim/engine.hpp"
+#include "util/rng.hpp"
+
+#include "fuzz_scenario.hpp"
+
+namespace adpm {
+namespace {
+
+class DddlRoundTripFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DddlRoundTripFuzz, WriteParsePreservesSemantics) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 48611);
+  for (int iter = 0; iter < 5; ++iter) {
+    const fuzz::GeneratedScenario g =
+        fuzz::generate(rng, 2 + static_cast<int>(rng.index(2)));
+    const std::string text = dddl::write(g.spec);
+    const dpm::ScenarioSpec reparsed = dddl::parse(text);
+
+    // Structure.
+    ASSERT_EQ(reparsed.objects.size(), g.spec.objects.size());
+    ASSERT_EQ(reparsed.properties.size(), g.spec.properties.size());
+    ASSERT_EQ(reparsed.constraints.size(), g.spec.constraints.size());
+    ASSERT_EQ(reparsed.problems.size(), g.spec.problems.size());
+    ASSERT_EQ(reparsed.requirements.size(), g.spec.requirements.size());
+
+    for (std::size_t i = 0; i < g.spec.properties.size(); ++i) {
+      EXPECT_EQ(reparsed.properties[i].name, g.spec.properties[i].name);
+      EXPECT_EQ(reparsed.properties[i].object, g.spec.properties[i].object);
+      EXPECT_EQ(reparsed.properties[i].initial, g.spec.properties[i].initial);
+    }
+    for (std::size_t i = 0; i < g.spec.constraints.size(); ++i) {
+      EXPECT_TRUE(
+          reparsed.constraints[i].lhs.sameAs(g.spec.constraints[i].lhs))
+          << g.spec.constraints[i].name;
+      EXPECT_TRUE(
+          reparsed.constraints[i].rhs.sameAs(g.spec.constraints[i].rhs))
+          << g.spec.constraints[i].name;
+      EXPECT_EQ(reparsed.constraints[i].rel, g.spec.constraints[i].rel);
+      EXPECT_EQ(reparsed.constraints[i].generatedBy,
+                g.spec.constraints[i].generatedBy)
+          << g.spec.constraints[i].name;
+    }
+    for (std::size_t i = 0; i < g.spec.problems.size(); ++i) {
+      EXPECT_EQ(reparsed.problems[i].outputs, g.spec.problems[i].outputs);
+      EXPECT_EQ(reparsed.problems[i].constraints,
+                g.spec.problems[i].constraints);
+      EXPECT_EQ(reparsed.problems[i].startReady,
+                g.spec.problems[i].startReady);
+      EXPECT_EQ(reparsed.problems[i].owner, g.spec.problems[i].owner);
+    }
+
+    // Behavioural equivalence: identical seeded simulations.
+    teamsim::SimulationOptions options;
+    options.adpm = (iter % 2 == 0);
+    options.seed = 17 + static_cast<std::uint64_t>(iter);
+    teamsim::SimulationEngine a(g.spec, options);
+    teamsim::SimulationEngine b(reparsed, options);
+    const auto ra = a.run();
+    const auto rb = b.run();
+    EXPECT_EQ(ra.completed, rb.completed);
+    EXPECT_EQ(ra.operations, rb.operations);
+    EXPECT_EQ(ra.evaluations, rb.evaluations);
+    EXPECT_EQ(ra.spins, rb.spins);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DddlRoundTripFuzz, ::testing::Range(1, 5));
+
+}  // namespace
+}  // namespace adpm

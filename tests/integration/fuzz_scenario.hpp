@@ -1,0 +1,137 @@
+// Shared random-scenario generator for the integration fuzz tests.
+//
+// Scenarios are solvable by construction: specs are carved around a known
+// witness point with margin.  See fuzz_test.cpp for the invariants checked.
+#pragma once
+
+#include "dpm/scenario.hpp"
+#include "expr/expr.hpp"
+#include "interval/domain.hpp"
+#include "util/rng.hpp"
+
+namespace adpm::fuzz {
+
+using constraint::Relation;
+using interval::Domain;
+
+struct GeneratedScenario {
+  dpm::ScenarioSpec spec;
+  std::vector<double> witness;  // property index -> witness value
+};
+
+/// Builds a random scenario: `teams` subsystems, each with a few free design
+/// variables, derived properties defined by random monotone models over the
+/// free variables, per-subsystem specs, and cross-subsystem budget
+/// constraints over the derived properties.
+inline GeneratedScenario generate(util::Rng& rng, int teams) {
+  GeneratedScenario g;
+  dpm::ScenarioSpec& s = g.spec;
+  s.name = "fuzz";
+  s.addObject("system");
+
+  struct Team {
+    std::vector<std::size_t> freeVars;
+    std::vector<std::size_t> derived;
+    std::vector<std::size_t> constraints;
+    std::string object;
+  };
+  std::vector<Team> teamInfo;
+
+  auto witnessOf = [&](std::size_t pi) { return g.witness[pi]; };
+
+  for (int t = 0; t < teams; ++t) {
+    Team team;
+    team.object = "sub" + std::to_string(t);
+    s.addObject(team.object, "system");
+
+    const int freeCount = static_cast<int>(rng.range(2, 3));
+    for (int f = 0; f < freeCount; ++f) {
+      const double lo = rng.uniform(0.5, 2.0);
+      const double hi = lo + rng.uniform(3.0, 10.0);
+      const std::size_t pi = s.addProperty(
+          "t" + std::to_string(t) + "_x" + std::to_string(f), team.object,
+          Domain::continuous(lo, hi));
+      team.freeVars.push_back(pi);
+      // Witness strictly inside the range.
+      g.witness.push_back(rng.uniform(lo + 0.2 * (hi - lo),
+                                      hi - 0.2 * (hi - lo)));
+    }
+
+    const int derivedCount = static_cast<int>(rng.range(1, 2));
+    for (int d = 0; d < derivedCount; ++d) {
+      // Random monotone model over two of the team's free variables.
+      const std::size_t a = team.freeVars[rng.index(team.freeVars.size())];
+      const std::size_t b = team.freeVars[rng.index(team.freeVars.size())];
+      const double ka = rng.uniform(0.5, 4.0);
+      const double kb = rng.uniform(0.5, 4.0);
+      expr::Expr model;
+      double witnessValue = 0.0;
+      switch (rng.index(3)) {
+        case 0:  // weighted sum
+          model = ka * s.pvar(a) + kb * s.pvar(b);
+          witnessValue = ka * witnessOf(a) + kb * witnessOf(b);
+          break;
+        case 1:  // product
+          model = ka * s.pvar(a) * s.pvar(b);
+          witnessValue = ka * witnessOf(a) * witnessOf(b);
+          break;
+        default:  // saturating ratio
+          model = ka * s.pvar(a) / (s.pvar(b) + 1.0);
+          witnessValue = ka * witnessOf(a) / (witnessOf(b) + 1.0);
+          break;
+      }
+      const std::size_t pi = s.addProperty(
+          "t" + std::to_string(t) + "_y" + std::to_string(d), team.object,
+          Domain::continuous(0.0, witnessValue * 4.0 + 10.0));
+      g.witness.push_back(witnessValue);
+      team.derived.push_back(pi);
+
+      team.constraints.push_back(s.addConstraint(
+          {"t" + std::to_string(t) + "_model" + std::to_string(d),
+           s.pvar(pi), Relation::Eq, model, {}}));
+      // A spec on the derived quantity, satisfied with ~40% margin.
+      team.constraints.push_back(s.addConstraint(
+          {"t" + std::to_string(t) + "_spec" + std::to_string(d),
+           s.pvar(pi), Relation::Le,
+           expr::Expr::constant(witnessValue * 1.4 + 1.0), {}}));
+    }
+    teamInfo.push_back(std::move(team));
+  }
+
+  // Cross-subsystem budget: the sum of one derived property per team stays
+  // under a cap with margin.  The cap is a frozen requirement.
+  expr::Expr sum;
+  double witnessSum = 0.0;
+  for (const Team& team : teamInfo) {
+    const std::size_t pi = team.derived.front();
+    sum = sum.valid() ? sum + s.pvar(pi) : s.pvar(pi);
+    witnessSum += witnessOf(pi);
+  }
+  const std::size_t cap = s.addProperty(
+      "cap", "system", Domain::continuous(witnessSum, witnessSum * 3.0 + 5.0));
+  g.witness.push_back(witnessSum * 1.5 + 1.0);
+  const std::size_t crossBudget = s.addConstraint(
+      {"cross_budget", sum, Relation::Le, s.pvar(cap), {}});
+
+  // Problems: top plus one per team, deferred children with generated
+  // internal constraints.
+  const std::size_t top = s.addProblem(
+      {"Top", "system", "leader", {}, {cap}, {crossBudget},
+       std::nullopt, {}, true});
+  for (std::size_t t = 0; t < teamInfo.size(); ++t) {
+    Team& team = teamInfo[t];
+    std::vector<std::size_t> outputs = team.freeVars;
+    outputs.insert(outputs.end(), team.derived.begin(), team.derived.end());
+    const std::size_t prob = s.addProblem(
+        {"P" + std::to_string(t), team.object,
+         "designer" + std::to_string(t), {cap}, outputs, team.constraints,
+         top, {}, false});
+    for (const std::size_t ci : team.constraints) {
+      s.constraints[ci].generatedBy = prob;
+    }
+  }
+  s.require(cap, g.witness[cap]);
+  return g;
+}
+
+}  // namespace adpm::fuzz

@@ -1,0 +1,116 @@
+#include "interval/domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace adpm::interval {
+namespace {
+
+TEST(Domain, DefaultIsEmptyContinuous) {
+  Domain d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_FALSE(d.isDiscrete());
+}
+
+TEST(Domain, ContinuousBasics) {
+  const Domain d = Domain::continuous(1.0, 4.0);
+  EXPECT_FALSE(d.empty());
+  EXPECT_FALSE(d.isDiscrete());
+  EXPECT_EQ(d.hull(), Interval(1.0, 4.0));
+  EXPECT_EQ(d.measure(), 3.0);
+  EXPECT_TRUE(d.contains(2.0));
+  EXPECT_FALSE(d.contains(5.0));
+  EXPECT_EQ(d.minValue(), 1.0);
+  EXPECT_EQ(d.maxValue(), 4.0);
+}
+
+TEST(Domain, DiscreteSortsAndDedupes) {
+  const Domain d = Domain::discrete({3.0, 1.0, 2.0, 1.0});
+  ASSERT_TRUE(d.isDiscrete());
+  EXPECT_EQ(d.count(), 3u);
+  EXPECT_EQ(d.values(), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(d.hull(), Interval(1.0, 3.0));
+  EXPECT_EQ(d.minValue(), 1.0);
+  EXPECT_EQ(d.maxValue(), 3.0);
+}
+
+TEST(Domain, PointDomain) {
+  const Domain d = Domain::point(2.5);
+  EXPECT_TRUE(d.isPoint());
+  EXPECT_EQ(d.measure(), 0.0);
+  EXPECT_TRUE(d.contains(2.5));
+}
+
+TEST(Domain, ContainsWithTolerance) {
+  const Domain c = Domain::continuous(1.0, 2.0);
+  EXPECT_TRUE(c.contains(2.0005, 1e-3));
+  EXPECT_FALSE(c.contains(2.1, 1e-3));
+  const Domain d = Domain::discrete({1.0, 5.0});
+  EXPECT_TRUE(d.contains(5.0 + 1e-9, 1e-6));
+  EXPECT_FALSE(d.contains(3.0, 1e-6));
+}
+
+TEST(Domain, IntersectContinuous) {
+  const Domain d = Domain::continuous(0.0, 10.0);
+  const Domain narrowed = d.intersect(Interval(5.0, 20.0));
+  EXPECT_EQ(narrowed.hull(), Interval(5.0, 10.0));
+  EXPECT_TRUE(d.intersect(Interval(20.0, 30.0)).empty());
+}
+
+TEST(Domain, IntersectDiscreteFilters) {
+  const Domain d = Domain::discrete({1.0, 2.0, 3.0, 4.0});
+  const Domain kept = d.intersect(Interval(1.5, 3.5));
+  ASSERT_TRUE(kept.isDiscrete());
+  EXPECT_EQ(kept.values(), (std::vector<double>{2.0, 3.0}));
+  EXPECT_TRUE(d.intersect(Interval(10.0, 20.0)).empty());
+}
+
+TEST(Domain, RelativeMeasureNormalizes) {
+  const Domain initial = Domain::continuous(0.0, 10.0);
+  const Domain narrowed = Domain::continuous(2.0, 4.5);
+  EXPECT_DOUBLE_EQ(narrowed.relativeMeasure(initial), 0.25);
+  EXPECT_DOUBLE_EQ(initial.relativeMeasure(initial), 1.0);
+
+  const Domain d0 = Domain::discrete({1, 2, 3, 4});
+  const Domain d1 = d0.intersect(Interval(1.0, 2.0));
+  EXPECT_DOUBLE_EQ(d1.relativeMeasure(d0), 0.5);
+}
+
+TEST(Domain, RelativeMeasureOfPointReference) {
+  const Domain ref = Domain::point(3.0);  // zero-width reference
+  EXPECT_EQ(Domain::point(3.0).relativeMeasure(ref), 1.0);
+  EXPECT_EQ(Domain().relativeMeasure(ref), 0.0);
+}
+
+TEST(Domain, Nearest) {
+  const Domain c = Domain::continuous(1.0, 2.0);
+  EXPECT_EQ(c.nearest(0.0), 1.0);
+  EXPECT_EQ(c.nearest(1.7), 1.7);
+  const Domain d = Domain::discrete({1.0, 5.0, 9.0});
+  EXPECT_EQ(d.nearest(4.0), 5.0);
+  EXPECT_EQ(d.nearest(2.9), 1.0);
+}
+
+TEST(Domain, ErrorsOnMisuse) {
+  const Domain c = Domain::continuous(0.0, 1.0);
+  EXPECT_THROW(c.count(), InvalidArgumentError);
+  EXPECT_THROW(c.values(), InvalidArgumentError);
+  Domain empty;
+  EXPECT_THROW(empty.minValue(), InvalidArgumentError);
+  EXPECT_THROW(empty.nearest(0.0), InvalidArgumentError);
+}
+
+TEST(Domain, StrFormats) {
+  EXPECT_EQ(Domain::discrete({1.0, 2.0}).str(3), "{1, 2}");
+  EXPECT_EQ(Domain::continuous(0.0, 1.0).str(3), "[0, 1]");
+}
+
+TEST(Domain, Equality) {
+  EXPECT_EQ(Domain::continuous(0, 1), Domain::continuous(0, 1));
+  EXPECT_FALSE(Domain::continuous(0, 1) == Domain::discrete({0, 1}));
+  EXPECT_EQ(Domain::discrete({2, 1}), Domain::discrete({1, 2}));
+}
+
+}  // namespace
+}  // namespace adpm::interval

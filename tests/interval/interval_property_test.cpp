@@ -1,0 +1,172 @@
+// Property-based soundness tests for interval arithmetic.
+//
+// The fundamental containment property: for any op and any points x ∈ X,
+// y ∈ Y, the point result op(x, y) must lie inside the interval result
+// op(X, Y).  Violations of this property would make constraint propagation
+// unsound (pruning feasible design points), which would corrupt every
+// TeamSim experiment downstream, so we hammer it with random boxes.
+#include "interval/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace adpm::interval {
+namespace {
+
+using util::Rng;
+
+Interval randomInterval(Rng& rng, double scale) {
+  const double a = rng.uniform(-scale, scale);
+  const double b = rng.uniform(-scale, scale);
+  return Interval(std::min(a, b), std::max(a, b));
+}
+
+double samplePoint(Rng& rng, const Interval& iv) {
+  return rng.uniform(iv.lo(), iv.hi() + 1e-300);  // degenerate-safe
+}
+
+class BinaryOpContainment : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinaryOpContainment, PointResultInsideIntervalResult) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int iter = 0; iter < 2000; ++iter) {
+    const Interval X = randomInterval(rng, 50.0);
+    const Interval Y = randomInterval(rng, 50.0);
+    const double x = samplePoint(rng, X);
+    const double y = samplePoint(rng, Y);
+
+    EXPECT_TRUE((X + Y).contains(x + y)) << X.str() << " + " << Y.str();
+    EXPECT_TRUE((X - Y).contains(x - y)) << X.str() << " - " << Y.str();
+    EXPECT_TRUE((X * Y).contains(x * y)) << X.str() << " * " << Y.str();
+    if (y != 0.0) {
+      const Interval Q = X / Y;
+      // Division through a zero-straddling denominator may produce entire.
+      EXPECT_TRUE(Q.contains(x / y) || Q.isEntire())
+          << X.str() << " / " << Y.str();
+    }
+    EXPECT_TRUE(min(X, Y).contains(std::min(x, y)));
+    EXPECT_TRUE(max(X, Y).contains(std::max(x, y)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinaryOpContainment,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+class UnaryOpContainment : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnaryOpContainment, PointResultInsideIntervalResult) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const Interval X = randomInterval(rng, 20.0);
+    const double x = samplePoint(rng, X);
+
+    EXPECT_TRUE((-X).contains(-x));
+    EXPECT_TRUE(sqr(X).contains(x * x));
+    EXPECT_TRUE(abs(X).contains(std::fabs(x)));
+    if (x >= 0.0) {
+      EXPECT_TRUE(sqrt(X).contains(std::sqrt(x)));
+    }
+    if (x > 0.0) {
+      EXPECT_TRUE(log(X).contains(std::log(x)));
+    }
+    EXPECT_TRUE(exp(X).contains(std::exp(x)));
+    for (int n : {2, 3, 5}) {
+      EXPECT_TRUE(pow(X, n).contains(std::pow(x, n)))
+          << X.str() << "^" << n << " at " << x;
+    }
+    if (x != 0.0) {
+      const Interval P = pow(X, -1);
+      EXPECT_TRUE(P.contains(1.0 / x) || P.isEntire());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnaryOpContainment,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+class ProjectionSoundness : public ::testing::TestWithParam<int> {};
+
+// Projection soundness: if z = f(x, y) with x ∈ X, y ∈ Y, z ∈ Z, then the
+// projected X' must still contain x.  (Projections may be loose — never
+// lossy.)
+TEST_P(ProjectionSoundness, ProjectionsKeepWitnessPoints) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const Interval X = randomInterval(rng, 10.0);
+    const Interval Y = randomInterval(rng, 10.0);
+    const double x = samplePoint(rng, X);
+    const double y = samplePoint(rng, Y);
+
+    {  // addition
+      const double z = x + y;
+      const Interval Z(z - 0.5, z + 0.5);
+      EXPECT_TRUE(projectAddLhs(Z, X, Y).contains(x));
+    }
+    {  // multiplication
+      const double z = x * y;
+      const Interval Z(z - 0.5, z + 0.5);
+      EXPECT_TRUE(projectMulLhs(Z, X, Y).contains(x))
+          << "x=" << x << " y=" << y << " X=" << X.str() << " Y=" << Y.str();
+    }
+    {  // square
+      const double z = x * x;
+      const Interval Z(z - 0.5, z + 0.5);
+      EXPECT_TRUE(projectSqr(Z, X).contains(x));
+    }
+    {  // abs
+      const double z = std::fabs(x);
+      const Interval Z(z - 0.25, z + 0.25);
+      EXPECT_TRUE(projectAbs(Z, X).contains(x));
+    }
+    {  // odd and even powers
+      for (int n : {2, 3}) {
+        const double z = std::pow(x, n);
+        const Interval Z(z - 0.5, z + 0.5);
+        EXPECT_TRUE(projectPow(Z, X, n).contains(x))
+            << "x=" << x << " n=" << n;
+      }
+    }
+    {  // min / max
+      const double z = std::min(x, y);
+      const Interval Z(z - 0.25, z + 0.25);
+      EXPECT_TRUE(projectMinLhs(Z, X, Y).contains(x));
+      const double zm = std::max(x, y);
+      const Interval Zm(zm - 0.25, zm + 0.25);
+      EXPECT_TRUE(projectMaxLhs(Zm, X, Y).contains(x));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProjectionSoundness,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// Algebraic identities that must hold exactly for our representation.
+TEST(IntervalAlgebra, HullIsCommutativeAndAbsorbsEmpty) {
+  Rng rng(404);
+  for (int iter = 0; iter < 500; ++iter) {
+    const Interval a = randomInterval(rng, 100.0);
+    const Interval b = randomInterval(rng, 100.0);
+    EXPECT_EQ(hull(a, b), hull(b, a));
+    EXPECT_EQ(hull(a, Interval::emptySet()), a);
+    EXPECT_TRUE(hull(a, b).contains(a));
+    EXPECT_TRUE(hull(a, b).contains(b));
+  }
+}
+
+TEST(IntervalAlgebra, IntersectIsTightest) {
+  Rng rng(405);
+  for (int iter = 0; iter < 500; ++iter) {
+    const Interval a = randomInterval(rng, 100.0);
+    const Interval b = randomInterval(rng, 100.0);
+    const Interval c = intersect(a, b);
+    EXPECT_EQ(c, intersect(b, a));
+    EXPECT_TRUE(a.contains(c));
+    EXPECT_TRUE(b.contains(c));
+  }
+}
+
+}  // namespace
+}  // namespace adpm::interval

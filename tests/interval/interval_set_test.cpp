@@ -1,0 +1,117 @@
+#include "interval/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace adpm::interval {
+namespace {
+
+TEST(IntervalSet, DefaultIsEmpty) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.pieceCount(), 0u);
+  EXPECT_TRUE(s.hull().empty());
+  EXPECT_EQ(s.measure(), 0.0);
+  EXPECT_FALSE(s.contains(0.0));
+  EXPECT_EQ(s.str(), "{}");
+}
+
+TEST(IntervalSet, SingletonAndEmptyInterval) {
+  IntervalSet s{Interval(1, 3)};
+  EXPECT_EQ(s.pieceCount(), 1u);
+  EXPECT_TRUE(s.contains(2.0));
+  EXPECT_TRUE(IntervalSet{Interval::emptySet()}.empty());
+}
+
+TEST(IntervalSet, FromPiecesSortsAndMerges) {
+  const IntervalSet s = IntervalSet::fromPieces(
+      {Interval(5, 7), Interval(1, 3), Interval(2, 4), Interval::emptySet()});
+  // [1,3] and [2,4] merge; [5,7] stays separate.
+  ASSERT_EQ(s.pieceCount(), 2u);
+  EXPECT_EQ(s.pieces()[0], Interval(1, 4));
+  EXPECT_EQ(s.pieces()[1], Interval(5, 7));
+  EXPECT_EQ(s.hull(), Interval(1, 7));
+  EXPECT_DOUBLE_EQ(s.measure(), 5.0);
+}
+
+TEST(IntervalSet, TouchingPiecesMerge) {
+  const IntervalSet s =
+      IntervalSet::fromPieces({Interval(0, 1), Interval(1, 2)});
+  ASSERT_EQ(s.pieceCount(), 1u);
+  EXPECT_EQ(s.pieces()[0], Interval(0, 2));
+}
+
+TEST(IntervalSet, UniteAndIntersect) {
+  const IntervalSet a =
+      IntervalSet::fromPieces({Interval(0, 2), Interval(5, 8)});
+  const IntervalSet b =
+      IntervalSet::fromPieces({Interval(1, 6), Interval(9, 10)});
+
+  const IntervalSet u = a.unite(b);
+  ASSERT_EQ(u.pieceCount(), 2u);
+  EXPECT_EQ(u.pieces()[0], Interval(0, 8));
+  EXPECT_EQ(u.pieces()[1], Interval(9, 10));
+
+  const IntervalSet i = a.intersect(b);
+  ASSERT_EQ(i.pieceCount(), 2u);
+  EXPECT_EQ(i.pieces()[0], Interval(1, 2));
+  EXPECT_EQ(i.pieces()[1], Interval(5, 6));
+
+  EXPECT_TRUE(a.intersect(Interval(3, 4)).empty());
+  EXPECT_EQ(a.intersect(Interval(1, 6)).pieces()[1], Interval(5, 6));
+}
+
+TEST(IntervalSet, NearestPiece) {
+  const IntervalSet s =
+      IntervalSet::fromPieces({Interval(0, 1), Interval(10, 12)});
+  EXPECT_EQ(s.nearestPiece(0.5), Interval(0, 1));
+  EXPECT_EQ(s.nearestPiece(4.0), Interval(0, 1));
+  EXPECT_EQ(s.nearestPiece(8.0), Interval(10, 12));
+  EXPECT_THROW(IntervalSet().nearestPiece(0.0), adpm::InvalidArgumentError);
+}
+
+TEST(IntervalSet, StrShowsUnion) {
+  const IntervalSet s =
+      IntervalSet::fromPieces({Interval(0, 1), Interval(2, 3)});
+  EXPECT_EQ(s.str(3), "[0, 1] u [2, 3]");
+}
+
+// Property: union/intersection behave like pointwise set operations.
+class IntervalSetAlgebra : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalSetAlgebra, MatchesPointwiseSemantics) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7333);
+  for (int iter = 0; iter < 200; ++iter) {
+    auto randomSet = [&]() {
+      std::vector<Interval> pieces;
+      const int n = 1 + static_cast<int>(rng.index(4));
+      for (int i = 0; i < n; ++i) {
+        const double a = rng.uniform(-10, 10);
+        const double b = rng.uniform(-10, 10);
+        pieces.emplace_back(std::min(a, b), std::max(a, b));
+      }
+      return IntervalSet::fromPieces(std::move(pieces));
+    };
+    const IntervalSet a = randomSet();
+    const IntervalSet b = randomSet();
+    const IntervalSet u = a.unite(b);
+    const IntervalSet i = a.intersect(b);
+
+    for (int probe = 0; probe < 40; ++probe) {
+      const double v = rng.uniform(-11, 11);
+      EXPECT_EQ(u.contains(v), a.contains(v) || b.contains(v));
+      EXPECT_EQ(i.contains(v), a.contains(v) && b.contains(v));
+    }
+    // Invariants: pieces sorted & disjoint.
+    for (std::size_t k = 1; k < u.pieceCount(); ++k) {
+      EXPECT_GT(u.pieces()[k].lo(), u.pieces()[k - 1].hi());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetAlgebra, ::testing::Values(1, 2));
+
+}  // namespace
+}  // namespace adpm::interval

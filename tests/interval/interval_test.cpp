@@ -1,0 +1,228 @@
+#include "interval/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace adpm::interval {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Interval, DefaultIsEmpty) {
+  Interval e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_FALSE(e.contains(0.0));
+  EXPECT_EQ(e.width(), 0.0);
+}
+
+TEST(Interval, InvertedBoundsCanonicalizeToEmpty) {
+  Interval e(3.0, 1.0);
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e, Interval::emptySet());
+}
+
+TEST(Interval, PointInterval) {
+  Interval p(2.5);
+  EXPECT_TRUE(p.isPoint());
+  EXPECT_FALSE(p.empty());
+  EXPECT_EQ(p.width(), 0.0);
+  EXPECT_EQ(p.mid(), 2.5);
+  EXPECT_TRUE(p.contains(2.5));
+}
+
+TEST(Interval, EntireAndBounded) {
+  EXPECT_TRUE(Interval::entire().isEntire());
+  EXPECT_FALSE(Interval::entire().isBounded());
+  EXPECT_TRUE(Interval(0, 1).isBounded());
+  EXPECT_FALSE(Interval(0, kInf).isBounded());
+  EXPECT_EQ(Interval::entire().mid(), 0.0);
+  EXPECT_EQ(Interval(3.0, kInf).mid(), 3.0);
+  EXPECT_EQ(Interval(-kInf, 5.0).mid(), 5.0);
+}
+
+TEST(Interval, ContainsInterval) {
+  EXPECT_TRUE(Interval(0, 10).contains(Interval(2, 3)));
+  EXPECT_TRUE(Interval(0, 10).contains(Interval::emptySet()));
+  EXPECT_FALSE(Interval(0, 10).contains(Interval(5, 11)));
+  EXPECT_FALSE(Interval::emptySet().contains(Interval(1, 2)));
+}
+
+TEST(Interval, Intersects) {
+  EXPECT_TRUE(Interval(0, 2).intersects(Interval(2, 4)));  // touching counts
+  EXPECT_FALSE(Interval(0, 2).intersects(Interval(3, 4)));
+  EXPECT_FALSE(Interval::emptySet().intersects(Interval(0, 1)));
+}
+
+TEST(Interval, Clamp) {
+  Interval iv(1.0, 5.0);
+  EXPECT_EQ(iv.clamp(0.0), 1.0);
+  EXPECT_EQ(iv.clamp(10.0), 5.0);
+  EXPECT_EQ(iv.clamp(3.0), 3.0);
+}
+
+TEST(Interval, InflateWidensFiniteBounds) {
+  const Interval iv(1.0, 2.0);
+  const Interval wide = iv.inflate(0.1, 0.0);
+  EXPECT_LT(wide.lo(), 1.0);
+  EXPECT_GT(wide.hi(), 2.0);
+  EXPECT_TRUE(wide.contains(iv));
+
+  const Interval half(0.0, kInf);
+  const Interval halfWide = half.inflate(0.1, 0.05);
+  EXPECT_EQ(halfWide.lo(), -0.05);
+  EXPECT_EQ(halfWide.hi(), kInf);
+}
+
+TEST(IntervalSetOps, IntersectAndHull) {
+  EXPECT_EQ(intersect(Interval(0, 5), Interval(3, 8)), Interval(3, 5));
+  EXPECT_TRUE(intersect(Interval(0, 1), Interval(2, 3)).empty());
+  EXPECT_EQ(hull(Interval(0, 1), Interval(4, 5)), Interval(0, 5));
+  EXPECT_EQ(hull(Interval::emptySet(), Interval(1, 2)), Interval(1, 2));
+}
+
+TEST(IntervalArith, Add) {
+  EXPECT_EQ(Interval(1, 2) + Interval(10, 20), Interval(11, 22));
+  EXPECT_TRUE((Interval::emptySet() + Interval(0, 1)).empty());
+}
+
+TEST(IntervalArith, Sub) {
+  EXPECT_EQ(Interval(1, 2) - Interval(10, 20), Interval(-19, -8));
+}
+
+TEST(IntervalArith, MulSignCases) {
+  EXPECT_EQ(Interval(2, 3) * Interval(4, 5), Interval(8, 15));
+  EXPECT_EQ(Interval(-3, -2) * Interval(4, 5), Interval(-15, -8));
+  EXPECT_EQ(Interval(-2, 3) * Interval(-5, 4), Interval(-15, 12));
+  EXPECT_EQ(Interval(0.0) * Interval::entire(), Interval(0.0));
+}
+
+TEST(IntervalArith, DivSimple) {
+  EXPECT_EQ(Interval(6, 12) / Interval(2, 3), Interval(2, 6));
+  EXPECT_EQ(Interval(6, 12) / Interval(-3, -2), Interval(-6, -2));
+}
+
+TEST(IntervalArith, DivByZeroStraddle) {
+  // Denominator straddles zero and numerator excludes zero: hull is entire.
+  EXPECT_TRUE((Interval(1, 2) / Interval(-1, 1)).isEntire());
+  // Zero endpoint: half-line.
+  const Interval q = Interval(1, 2) / Interval(0, 1);
+  EXPECT_EQ(q.lo(), 1.0);
+  EXPECT_EQ(q.hi(), kInf);
+}
+
+TEST(IntervalArith, Neg) {
+  EXPECT_EQ(-Interval(1, 2), Interval(-2, -1));
+}
+
+TEST(IntervalFns, Sqr) {
+  EXPECT_EQ(sqr(Interval(2, 3)), Interval(4, 9));
+  EXPECT_EQ(sqr(Interval(-3, -2)), Interval(4, 9));
+  EXPECT_EQ(sqr(Interval(-2, 3)), Interval(0, 9));
+}
+
+TEST(IntervalFns, SqrtClipsDomain) {
+  EXPECT_EQ(sqrt(Interval(4, 9)), Interval(2, 3));
+  EXPECT_EQ(sqrt(Interval(-4, 9)), Interval(0, 3));
+  EXPECT_TRUE(sqrt(Interval(-9, -4)).empty());
+}
+
+TEST(IntervalFns, PowCases) {
+  EXPECT_EQ(pow(Interval(2, 3), 0), Interval(1.0));
+  EXPECT_EQ(pow(Interval(2, 3), 1), Interval(2, 3));
+  EXPECT_EQ(pow(Interval(-2, 3), 2), Interval(0, 9));
+  EXPECT_EQ(pow(Interval(-2, 3), 3), Interval(-8, 27));
+  // Negative exponent via reciprocal.
+  EXPECT_EQ(pow(Interval(2, 4), -1), Interval(0.25, 0.5));
+}
+
+TEST(IntervalFns, ExpLog) {
+  const Interval e = exp(Interval(0, 1));
+  EXPECT_DOUBLE_EQ(e.lo(), 1.0);
+  EXPECT_DOUBLE_EQ(e.hi(), std::exp(1.0));
+  const Interval l = log(Interval(1.0, std::exp(2.0)));
+  EXPECT_DOUBLE_EQ(l.lo(), 0.0);
+  EXPECT_NEAR(l.hi(), 2.0, 1e-12);
+  // log clips to positive reals; [0, x] maps to [-inf, log x].
+  EXPECT_EQ(log(Interval(0.0, 1.0)).lo(), -kInf);
+  EXPECT_TRUE(log(Interval(-2.0, -1.0)).empty());
+}
+
+TEST(IntervalFns, AbsMinMax) {
+  EXPECT_EQ(abs(Interval(-3, 2)), Interval(0, 3));
+  EXPECT_EQ(abs(Interval(-3, -1)), Interval(1, 3));
+  EXPECT_EQ(min(Interval(0, 5), Interval(2, 3)), Interval(0, 3));
+  EXPECT_EQ(max(Interval(0, 5), Interval(2, 3)), Interval(2, 5));
+}
+
+TEST(ExtendedDiv, SplitsWhenDenominatorStraddles) {
+  // [1,2] / [-1,1] = (-inf,-1] ∪ [1,+inf)
+  const IntervalPair q = extendedDiv(Interval(1, 2), Interval(-1, 1));
+  EXPECT_EQ(q.first, Interval(-kInf, -1.0));
+  EXPECT_EQ(q.second, Interval(1.0, kInf));
+}
+
+TEST(ExtendedDiv, ZeroNumeratorWithStraddle) {
+  const IntervalPair q = extendedDiv(Interval(-1, 1), Interval(-1, 1));
+  EXPECT_TRUE(q.first.isEntire());
+  EXPECT_TRUE(q.second.empty());
+}
+
+TEST(ExtendedDiv, DivisionByExactZero) {
+  EXPECT_TRUE(extendedDiv(Interval(1, 2), Interval(0.0)).first.empty());
+  EXPECT_TRUE(extendedDiv(Interval(-1, 1), Interval(0.0)).first.isEntire());
+}
+
+TEST(Projection, AddLhs) {
+  // z = x + y, z=[10,12], y=[1,2] -> x in [8,11] intersected with prior x.
+  EXPECT_EQ(projectAddLhs(Interval(10, 12), Interval(0, 100), Interval(1, 2)),
+            Interval(8, 11));
+}
+
+TEST(Projection, MulLhsThroughZeroDenominator) {
+  // z = x*y, z=[4,8], y=[-2,2]: x in (-inf,-2] ∪ [2,inf); prior x=[0,10] -> [2,10].
+  EXPECT_EQ(projectMulLhs(Interval(4, 8), Interval(0, 10), Interval(-2, 2)),
+            Interval(2, 10));
+}
+
+TEST(Projection, Sqr) {
+  // z = x², z=[4,9]: x in [-3,-2] ∪ [2,3]; prior [0,10] -> [2,3].
+  EXPECT_EQ(projectSqr(Interval(4, 9), Interval(0, 10)), Interval(2, 3));
+  // Prior straddles: hull of both roots.
+  EXPECT_EQ(projectSqr(Interval(4, 9), Interval(-10, 10)), Interval(-3, 3));
+  EXPECT_TRUE(projectSqr(Interval(-9, -4), Interval(-10, 10)).empty());
+}
+
+TEST(Projection, PowOddAndEven) {
+  EXPECT_EQ(projectPow(Interval(8, 27), Interval(-100, 100), 3),
+            Interval(2, 3));
+  EXPECT_EQ(projectPow(Interval(-27, -8), Interval(-100, 100), 3),
+            Interval(-3, -2));
+  EXPECT_EQ(projectPow(Interval(16, 81), Interval(0, 100), 4), Interval(2, 3));
+}
+
+TEST(Projection, Abs) {
+  EXPECT_EQ(projectAbs(Interval(2, 3), Interval(-10, 0)), Interval(-3, -2));
+  EXPECT_EQ(projectAbs(Interval(2, 3), Interval(-10, 10)), Interval(-3, 3));
+  EXPECT_TRUE(projectAbs(Interval(-3, -2), Interval(-10, 10)).empty());
+}
+
+TEST(Projection, MinForcesFloor) {
+  // z = min(x,y) = [5,6]; x must be >= 5.
+  EXPECT_EQ(projectMinLhs(Interval(5, 6), Interval(0, 10), Interval(0, 10)),
+            Interval(5, 10));
+  // y cannot achieve the min (y.lo > z.hi): x must be inside z.
+  EXPECT_EQ(projectMinLhs(Interval(5, 6), Interval(0, 10), Interval(8, 9)),
+            Interval(5, 6));
+}
+
+TEST(Projection, MaxForcesCeiling) {
+  EXPECT_EQ(projectMaxLhs(Interval(5, 6), Interval(0, 10), Interval(0, 10)),
+            Interval(0, 6));
+  EXPECT_EQ(projectMaxLhs(Interval(5, 6), Interval(0, 10), Interval(0, 1)),
+            Interval(5, 6));
+}
+
+}  // namespace
+}  // namespace adpm::interval

@@ -1,0 +1,92 @@
+// The committed DDDL snapshots under scenarios/ must stay in sync with the
+// C++ scenario builders: parsing a snapshot must produce a spec that is
+// structurally identical and simulates identically.  Regenerate with
+//   ./build/examples/dddl_tool dump <name> > scenarios/<name>.dddl
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "dddl/parser.hpp"
+#include "scenarios/accelerometer.hpp"
+#include "scenarios/receiver.hpp"
+#include "scenarios/sensing.hpp"
+#include "scenarios/walkthrough.hpp"
+#include "teamsim/engine.hpp"
+
+namespace adpm {
+namespace {
+
+std::string snapshotDir() {
+  // CTest runs with the build tree as working directory; the snapshots live
+  // in the source tree.  ADPM_SOURCE_DIR is injected by tests/CMakeLists.
+#ifdef ADPM_SOURCE_DIR
+  return std::string(ADPM_SOURCE_DIR) + "/scenarios/";
+#else
+  return "scenarios/";
+#endif
+}
+
+std::optional<std::string> readFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+struct Case {
+  const char* file;
+  dpm::ScenarioSpec spec;
+};
+
+std::vector<Case> cases() {
+  std::vector<Case> out;
+  out.push_back({"sensing.dddl", scenarios::sensingSystemScenario()});
+  out.push_back({"receiver.dddl", scenarios::receiverScenario()});
+  out.push_back({"receiver4.dddl", scenarios::receiverLargeTeamScenario()});
+  out.push_back({"accelerometer.dddl", scenarios::accelerometerScenario()});
+  out.push_back({"walkthrough.dddl", scenarios::walkthroughScenario()});
+  return out;
+}
+
+TEST(DddlSnapshots, MatchTheBuilders) {
+  for (const Case& c : cases()) {
+    const auto text = readFile(snapshotDir() + c.file);
+    ASSERT_TRUE(text.has_value()) << "missing snapshot " << c.file;
+    const dpm::ScenarioSpec parsed = dddl::parse(*text);
+
+    ASSERT_EQ(parsed.properties.size(), c.spec.properties.size()) << c.file;
+    ASSERT_EQ(parsed.constraints.size(), c.spec.constraints.size()) << c.file;
+    ASSERT_EQ(parsed.problems.size(), c.spec.problems.size()) << c.file;
+    for (std::size_t i = 0; i < c.spec.properties.size(); ++i) {
+      EXPECT_EQ(parsed.properties[i].name, c.spec.properties[i].name)
+          << c.file;
+      EXPECT_EQ(parsed.properties[i].initial, c.spec.properties[i].initial)
+          << c.file << " " << c.spec.properties[i].name;
+      EXPECT_EQ(parsed.properties[i].preference,
+                c.spec.properties[i].preference)
+          << c.file << " " << c.spec.properties[i].name;
+    }
+    for (std::size_t i = 0; i < c.spec.constraints.size(); ++i) {
+      EXPECT_TRUE(parsed.constraints[i].lhs.sameAs(c.spec.constraints[i].lhs))
+          << c.file << " " << c.spec.constraints[i].name;
+      EXPECT_EQ(parsed.constraints[i].generatedBy,
+                c.spec.constraints[i].generatedBy)
+          << c.file << " " << c.spec.constraints[i].name;
+    }
+
+    // Behavioural identity: same seed, same run.
+    teamsim::SimulationOptions options;
+    options.seed = 11;
+    teamsim::SimulationEngine a(c.spec, options);
+    teamsim::SimulationEngine b(parsed, options);
+    const auto ra = a.run();
+    const auto rb = b.run();
+    EXPECT_EQ(ra.operations, rb.operations) << c.file;
+    EXPECT_EQ(ra.evaluations, rb.evaluations) << c.file;
+  }
+}
+
+}  // namespace
+}  // namespace adpm

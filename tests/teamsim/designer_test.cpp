@@ -1,0 +1,249 @@
+// Behavioural tests for the simulated-designer model (paper Section 3.1.1).
+#include "teamsim/designer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dpm/scenario.hpp"
+
+namespace adpm::teamsim {
+namespace {
+
+using constraint::ConstraintId;
+using constraint::PropertyId;
+using constraint::Relation;
+using interval::Domain;
+
+// A one-designer problem with a free variable, a derived property and both
+// a model and a spec, rigged so each heuristic's effect is observable.
+struct Rig {
+  dpm::ScenarioSpec spec;
+  std::size_t w, power, narrow, wide;
+
+  Rig() {
+    spec.name = "rig";
+    spec.addObject("o");
+    w = spec.addProperty("w", "o", Domain::continuous(1, 9));
+    power = spec.addProperty("power", "o", Domain::continuous(0, 100));
+    // Two more outputs with very different feasible-window sizes.
+    narrow = spec.addProperty("narrow", "o", Domain::continuous(0, 100));
+    wide = spec.addProperty("wide", "o", Domain::continuous(0, 100));
+    spec.addConstraint({"power-model", spec.pvar(power), Relation::Eq,
+                        10.0 * spec.pvar(w), {}});
+    spec.addConstraint({"power-spec", spec.pvar(power), Relation::Le,
+                        expr::Expr::constant(60.0), {}});
+    // narrow ends up in [40, 45]; wide stays [0, 100].
+    spec.addConstraint({"narrow-lo", spec.pvar(narrow), Relation::Ge,
+                        expr::Expr::constant(40.0), {}});
+    spec.addConstraint({"narrow-hi", spec.pvar(narrow), Relation::Le,
+                        expr::Expr::constant(45.0), {}});
+    spec.addProblem({"P", "o", "dana", {}, {w, power, narrow, wide},
+                     {0, 1, 2, 3}, std::nullopt, {}, true});
+  }
+};
+
+dpm::Operation mustOp(std::optional<dpm::Operation> op) {
+  EXPECT_TRUE(op.has_value());
+  return *op;
+}
+
+TEST(SimulatedDesigner, AdpmBindsSmallestWindowFreeVariableFirst) {
+  Rig rig;
+  dpm::DesignProcessManager mgr(dpm::DesignProcessManager::Options{.adpm = true});
+  dpm::instantiate(rig.spec, mgr);
+  mgr.bootstrap();
+
+  SimulationOptions options;
+  SimulatedDesigner dana("dana", options, 99);
+  const dpm::Operation op = mustOp(dana.nextOperation(mgr));
+  EXPECT_EQ(op.kind, dpm::OperatorKind::Synthesis);
+  ASSERT_EQ(op.assignments.size(), 1u);
+  // Derived `power` binds last; among free variables, `narrow` has the
+  // relatively smallest feasible window ([40,45] of [0,100]) and w is next
+  // ([1,6] of [1,9] via power <= 60).
+  EXPECT_EQ(op.assignments[0].first.value,
+            static_cast<std::uint32_t>(rig.narrow));
+  // The value respects the propagated window with some inward margin.
+  EXPECT_GT(op.assignments[0].second, 40.0 - 1e-9);
+  EXPECT_LT(op.assignments[0].second, 45.0 + 1e-9);
+}
+
+TEST(SimulatedDesigner, ConventionalBindsFreeVariablesBeforeDerived) {
+  Rig rig;
+  dpm::DesignProcessManager mgr(
+      dpm::DesignProcessManager::Options{.adpm = false});
+  dpm::instantiate(rig.spec, mgr);
+
+  SimulationOptions options;
+  options.adpm = false;
+  SimulatedDesigner dana("dana", options, 4);
+  const dpm::Operation first = mustOp(dana.nextOperation(mgr));
+  ASSERT_EQ(first.assignments.size(), 1u);
+  // Never the derived `power` first.
+  EXPECT_NE(first.assignments[0].first.value,
+            static_cast<std::uint32_t>(rig.power));
+}
+
+TEST(SimulatedDesigner, DerivedPropertyBindsToExactModelValue) {
+  Rig rig;
+  dpm::DesignProcessManager mgr(dpm::DesignProcessManager::Options{.adpm = true});
+  dpm::instantiate(rig.spec, mgr);
+  mgr.bootstrap();
+
+  SimulationOptions options;
+  SimulatedDesigner dana("dana", options, 7);
+  // Drive the designer until it binds `power`; the value must equal 10*w.
+  for (int i = 0; i < 10; ++i) {
+    auto op = dana.nextOperation(mgr);
+    if (!op) break;
+    const bool isPower =
+        op->assignments.size() == 1 &&
+        op->assignments[0].first.value == static_cast<std::uint32_t>(rig.power);
+    if (isPower) {
+      const auto& wProp = mgr.network().property(
+          PropertyId{static_cast<std::uint32_t>(rig.w)});
+      ASSERT_TRUE(wProp.bound());
+      EXPECT_DOUBLE_EQ(op->assignments[0].second, 10.0 * *wProp.value);
+      return;
+    }
+    mgr.execute(*op);
+  }
+  FAIL() << "designer never bound the derived property";
+}
+
+TEST(SimulatedDesigner, RepairsKnownViolationBeforeBinding) {
+  Rig rig;
+  dpm::DesignProcessManager mgr(dpm::DesignProcessManager::Options{.adpm = true});
+  dpm::instantiate(rig.spec, mgr);
+  // Force a violation: w = 9 -> power-model pins power at 90 > 60.
+  dpm::Operation seed;
+  seed.kind = dpm::OperatorKind::Synthesis;
+  seed.problem = dpm::ProblemId{0};
+  seed.designer = "dana";
+  seed.assignments.emplace_back(PropertyId{static_cast<std::uint32_t>(rig.w)},
+                                9.0);
+  seed.assignments.emplace_back(
+      PropertyId{static_cast<std::uint32_t>(rig.power)}, 90.0);
+  mgr.execute(seed);
+  ASSERT_GT(mgr.knownViolationCount(), 0u);
+
+  SimulationOptions options;
+  SimulatedDesigner dana("dana", options, 13);
+  const dpm::Operation op = mustOp(dana.nextOperation(mgr));
+  // The next operation is a repair (it carries a triggering violation), not
+  // a fresh binding of narrow/wide.
+  EXPECT_TRUE(op.triggeredBy.has_value());
+}
+
+TEST(SimulatedDesigner, IdleWhenEverythingSolved) {
+  Rig rig;
+  dpm::DesignProcessManager mgr(dpm::DesignProcessManager::Options{.adpm = true});
+  dpm::instantiate(rig.spec, mgr);
+  mgr.bootstrap();
+
+  SimulationOptions options;
+  SimulatedDesigner dana("dana", options, 21);
+  for (int i = 0; i < 40 && !mgr.designComplete(); ++i) {
+    auto op = dana.nextOperation(mgr);
+    ASSERT_TRUE(op.has_value()) << "designer idle before completion";
+    mgr.execute(*op);
+  }
+  EXPECT_TRUE(mgr.designComplete());
+  EXPECT_FALSE(dana.nextOperation(mgr).has_value());
+}
+
+TEST(SimulatedDesigner, ConventionalRequestsVerificationWhenBound) {
+  Rig rig;
+  dpm::DesignProcessManager mgr(
+      dpm::DesignProcessManager::Options{.adpm = false});
+  dpm::instantiate(rig.spec, mgr);
+
+  SimulationOptions options;
+  options.adpm = false;
+  SimulatedDesigner dana("dana", options, 5);
+  bool sawVerification = false;
+  for (int i = 0; i < 60 && !mgr.designComplete(); ++i) {
+    auto op = dana.nextOperation(mgr);
+    if (!op) break;
+    if (op->kind == dpm::OperatorKind::Verification) sawVerification = true;
+    mgr.execute(*op);
+  }
+  EXPECT_TRUE(sawVerification);
+  EXPECT_TRUE(mgr.designComplete());
+}
+
+TEST(SimulatedDesigner, NeverTouchesFrozenRequirements) {
+  dpm::ScenarioSpec spec;
+  spec.name = "frozen";
+  spec.addObject("o");
+  const auto req = spec.addProperty("req", "o", Domain::continuous(0, 10));
+  const auto x = spec.addProperty("x", "o", Domain::continuous(0, 10));
+  spec.addConstraint({"spec", spec.pvar(x), Relation::Le, spec.pvar(req), {}});
+  spec.addProblem({"P", "o", "dana", {}, {req, x}, {0}, std::nullopt, {}, true});
+  spec.require(req, 5.0);
+
+  dpm::DesignProcessManager mgr(dpm::DesignProcessManager::Options{.adpm = true});
+  dpm::instantiate(spec, mgr);
+  mgr.bootstrap();
+
+  SimulationOptions options;
+  SimulatedDesigner dana("dana", options, 77);
+  for (int i = 0; i < 20; ++i) {
+    auto op = dana.nextOperation(mgr);
+    if (!op) break;
+    for (const auto& [pid, value] : op->assignments) {
+      (void)value;
+      EXPECT_NE(pid.value, static_cast<std::uint32_t>(req))
+          << "designer rebound a frozen requirement";
+    }
+    mgr.execute(*op);
+  }
+}
+
+TEST(SimulatedDesigner, PreferenceBreaksBindingTies) {
+  // One free property with no directional constraint signal: with prefer
+  // low, the ADPM designer binds near the bottom of its feasible window.
+  dpm::ScenarioSpec spec;
+  spec.name = "pref";
+  spec.addObject("o");
+  const auto x = spec.addProperty("x", "o", Domain::continuous(0, 10));
+  spec.properties[x].preference = -1;
+  spec.addProblem({"P", "o", "dana", {}, {x}, {}, std::nullopt, {}, true});
+
+  dpm::DesignProcessManager mgr(dpm::DesignProcessManager::Options{.adpm = true});
+  dpm::instantiate(spec, mgr);
+  mgr.bootstrap();
+
+  SimulationOptions options;
+  SimulatedDesigner dana("dana", options, 3);
+  const auto op = dana.nextOperation(mgr);
+  ASSERT_TRUE(op.has_value());
+  ASSERT_EQ(op->assignments.size(), 1u);
+  // Margin jitter keeps it off the exact bound, but it lands in the lower
+  // half of the range.
+  EXPECT_LT(op->assignments[0].second, 5.0);
+}
+
+TEST(SimulatedDesigner, ConventionalBindingBiasedByPreference) {
+  dpm::ScenarioSpec spec;
+  spec.name = "pref2";
+  spec.addObject("o");
+  const auto x = spec.addProperty("x", "o", Domain::continuous(0, 10));
+  spec.properties[x].preference = 1;  // prefer high
+  spec.addProblem({"P", "o", "dana", {}, {x}, {}, std::nullopt, {}, true});
+
+  // Across many seeds, all conventional first binds land in the top half.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    dpm::DesignProcessManager mgr(
+        dpm::DesignProcessManager::Options{.adpm = false});
+    dpm::instantiate(spec, mgr);
+    SimulationOptions options;
+    options.adpm = false;
+    SimulatedDesigner dana("dana", options, seed);
+    const auto op = dana.nextOperation(mgr);
+    ASSERT_TRUE(op.has_value());
+    EXPECT_GE(op->assignments[0].second, 5.0) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace adpm::teamsim

@@ -1,0 +1,96 @@
+#include "teamsim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+#include "scenarios/sensing.hpp"
+#include "scenarios/walkthrough.hpp"
+#include "teamsim/statwindow.hpp"
+
+namespace adpm::teamsim {
+namespace {
+
+TEST(Experiment, SeedSweepAggregates) {
+  SimulationOptions base;
+  base.adpm = true;
+  const CellStats cell = runSeedSweep(scenarios::walkthroughScenario(), base,
+                                      8, 1, "walkthrough/ADPM");
+  EXPECT_EQ(cell.runs, 8u);
+  EXPECT_EQ(cell.completed, 8u);
+  EXPECT_DOUBLE_EQ(cell.completionRate(), 1.0);
+  EXPECT_GT(cell.operations.mean(), 0.0);
+  EXPECT_GT(cell.evaluations.mean(), 0.0);
+  EXPECT_EQ(cell.operations.count(), 8u);
+  EXPECT_EQ(cell.label, "walkthrough/ADPM");
+}
+
+TEST(Experiment, ComparisonShapesMatchThePaper) {
+  // A reduced version of the Fig. 9 protocol on the sensing case: the full
+  // 60-seed sweep lives in bench/, this sanity-checks the directional claims
+  // with a smaller sample.
+  SimulationOptions base;
+  const Comparison cmp =
+      compareApproaches(scenarios::sensingSystemScenario(), base, 10);
+
+  EXPECT_EQ(cmp.adpm.completed, cmp.adpm.runs);
+  EXPECT_EQ(cmp.conventional.completed, cmp.conventional.runs);
+
+  // Conventional needs more designer operations...
+  EXPECT_GT(cmp.operationRatio(), 1.3);
+  // ...while ADPM consumes more constraint evaluations (tool runs).
+  EXPECT_GT(cmp.evaluationRatio(), 1.5);
+  // ADPM spins are a small fraction of conventional's.
+  EXPECT_LT(cmp.spinRatio(), 0.7);
+}
+
+TEST(Comparison, RatioGuards) {
+  Comparison cmp;
+  // Empty cells: every ratio degrades gracefully.
+  EXPECT_EQ(cmp.operationRatio(), 0.0);
+  EXPECT_EQ(cmp.evaluationRatio(), 0.0);
+  EXPECT_EQ(cmp.spinRatio(), 0.0);
+  EXPECT_EQ(cmp.variabilityRatio(), 1.0);  // 0/0 variability: neutral
+
+  // Perfectly repeatable ADPM vs varying conventional: infinite ratio.
+  cmp.adpm.operations.add(10);
+  cmp.adpm.operations.add(10);
+  cmp.conventional.operations.add(10);
+  cmp.conventional.operations.add(30);
+  EXPECT_TRUE(std::isinf(cmp.variabilityRatio()));
+  EXPECT_NEAR(cmp.operationRatio(), 2.0, 1e-12);
+}
+
+TEST(StatWindow, RendersPanel) {
+  SimulationOptions base;
+  base.adpm = true;
+  base.seed = 5;
+  SimulationEngine engine(scenarios::walkthroughScenario(), base);
+  engine.run();
+  const std::string panel = renderStatisticsWindow(engine);
+  EXPECT_NE(panel.find("Design Process Statistics"), std::string::npos);
+  EXPECT_NE(panel.find("Executed operations"), std::string::npos);
+  EXPECT_NE(panel.find("Cumulative design spins"), std::string::npos);
+  EXPECT_NE(panel.find("ADPM"), std::string::npos);
+  EXPECT_NE(panel.find("Design complete"), std::string::npos);
+}
+
+TEST(StatWindow, HistoryStripHandlesMetrics) {
+  SimulationOptions base;
+  base.adpm = false;
+  SimulationEngine engine(scenarios::walkthroughScenario(), base);
+  engine.run();
+  for (const char* metric :
+       {"violationsFound", "violationsKnown", "evaluations", "spins"}) {
+    const std::string strip = renderHistoryStrip(engine.trace(), metric);
+    EXPECT_NE(strip.find(metric), std::string::npos);
+  }
+  EXPECT_THROW(renderHistoryStrip(engine.trace(), "bogus"),
+               adpm::InvalidArgumentError);
+  EXPECT_EQ(renderHistoryStrip({}, "spins"), "(no operations)\n");
+}
+
+}  // namespace
+}  // namespace adpm::teamsim

@@ -1,0 +1,149 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace adpm::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a(), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Rng, UniformStaysInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-2.5, 7.25);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.25);
+  }
+}
+
+TEST(Rng, UniformDegenerateRangeReturnsLow) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform(3.0, 3.0), 3.0);
+  EXPECT_EQ(rng.uniform(4.0, 1.0), 4.0);
+}
+
+TEST(Rng, UniformMeanIsNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, IndexCoversAllBuckets) {
+  Rng rng(13);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(17);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    sawLo |= (v == -3);
+    sawHi |= (v == 3);
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, PickReturnsElementOfVector) {
+  Rng rng(29);
+  const std::vector<int> items{10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    const int v = rng.pick(items);
+    EXPECT_TRUE(v == 10 || v == 20 || v == 30);
+  }
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(31);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = items;
+  rng.shuffle(items);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(37);
+  std::vector<int> items(100);
+  for (int i = 0; i < 100; ++i) items[static_cast<std::size_t>(i)] = i;
+  const auto original = items;
+  rng.shuffle(items);
+  EXPECT_NE(items, original);
+}
+
+TEST(Splitmix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 0;
+  std::uint64_t s2 = 0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+}
+
+}  // namespace
+}  // namespace adpm::util

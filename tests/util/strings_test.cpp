@@ -1,0 +1,57 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adpm::util {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("no-trim"), "no-trim");
+}
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, EmptyFieldsPreserved) {
+  const auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> parts{"p", "q", "r"};
+  EXPECT_EQ(join(parts, "::"), "p::q::r");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(startsWith("constraint", "con"));
+  EXPECT_TRUE(startsWith("x", ""));
+  EXPECT_FALSE(startsWith("", "x"));
+  EXPECT_FALSE(startsWith("ab", "abc"));
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(toLower("MiXeD-42"), "mixed-42");
+  EXPECT_EQ(toLower(""), "");
+}
+
+}  // namespace
+}  // namespace adpm::util

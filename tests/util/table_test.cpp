@@ -1,0 +1,100 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace adpm::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t;
+  t.header({"Case", "Ops", "Evals"});
+  t.row({"sensing", "120", "345"});
+  t.row({"receiver", "98", "1020"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("Case"), std::string::npos);
+  EXPECT_NE(s.find("sensing"), std::string::npos);
+  EXPECT_NE(s.find("1020"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.header({"Name", "Value"});
+  t.row({"a", "1"});
+  t.row({"longer", "22"});
+  const std::string s = t.render();
+  std::istringstream in(s);
+  std::string line;
+  std::getline(in, line);  // header
+  const auto headerValueCol = line.find("Value");
+  std::getline(in, line);  // rule
+  std::getline(in, line);  // row "a"
+  // Numeric cells right-align inside the column, so "1" ends where the
+  // column ends.
+  EXPECT_GE(line.size(), headerValueCol);
+}
+
+TEST(TextTable, RuleSpansTable) {
+  TextTable t;
+  t.header({"X"});
+  t.row({"data"});
+  t.rule();
+  t.row({"more"});
+  const std::string s = t.render();
+  // Two rules: one under the header, one explicit.
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = s.find("----", pos)) != std::string::npos) {
+    ++count;
+    pos = s.find('\n', pos);
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(TextTable, RowsMayBeShorterThanHeader) {
+  TextTable t;
+  t.header({"A", "B", "C"});
+  t.row({"only-a"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(FormatNumber, TrimsAndRounds) {
+  EXPECT_EQ(formatNumber(3.0), "3");
+  EXPECT_EQ(formatNumber(0.5), "0.5");
+  EXPECT_EQ(formatNumber(12345.678, 4), "1.235e+04");
+  EXPECT_EQ(formatNumber(12345.678, 8), "12345.678");
+}
+
+TEST(FormatNumber, SpecialValues) {
+  EXPECT_EQ(formatNumber(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(formatNumber(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(formatNumber(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+TEST(FormatExact, RoundTripsThroughParsing) {
+  for (double v : {0.1, 1.0 / 3.0, 2.5e-17, -123456.789012345, 1e22}) {
+    const std::string text = formatExact(v);
+    EXPECT_EQ(std::stod(text), v) << text;
+  }
+  EXPECT_EQ(formatExact(3.0), "3");
+  EXPECT_EQ(formatExact(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(formatExact(std::numeric_limits<double>::quiet_NaN()), "nan");
+}
+
+TEST(WriteCsv, BasicRows) {
+  std::ostringstream out;
+  writeCsv(out, {"a", "b"}, {{"1", "2"}, {"3", "4"}});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(WriteCsv, EscapesSpecialCharacters) {
+  std::ostringstream out;
+  writeCsv(out, {}, {{"has,comma", "has\"quote"}});
+  EXPECT_EQ(out.str(), "\"has,comma\",\"has\"\"quote\"\n");
+}
+
+}  // namespace
+}  // namespace adpm::util
