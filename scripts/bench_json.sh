@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Run the google-benchmark propagation suite and record machine-readable
+# results, seeding the repo's performance trajectory.
+#
+#   scripts/bench_json.sh [build-dir] [benchmark-filter]
+#
+# Writes BENCH_propagation.json in the repository root.  The interesting
+# counters:
+#   * BM_MineGuidance .../mode:0 vs mode:1 — expression sweeps per mine
+#     (sweeps_per_mine) and wall time, reference tree-walk engine vs the
+#     compiled-AD fast engine with a cold cache (the Θ(Σβᵢ) → Θ(nc) claim);
+#   * mode:2 — the fast engine over an unchanged box (generation-keyed cache
+#     hit, the what-if reporting steady state);
+#   * BM_PropagationFixpoint / BM_Hc4Revise — the zero-allocation hot path.
+# Build in Release (or the default RelWithDebInfo) before trusting numbers.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+filter="${2:-}"
+
+bench="$build/bench/bench_propagation"
+if [ ! -x "$bench" ]; then
+  echo "error: $bench not built (cmake --build $build --target bench_propagation)" >&2
+  exit 1
+fi
+
+args=(--benchmark_format=json --benchmark_out="$repo/BENCH_propagation.json"
+      --benchmark_out_format=json)
+if [ -n "$filter" ]; then
+  args+=("--benchmark_filter=$filter")
+fi
+
+"$bench" "${args[@]}"
+echo "wrote $repo/BENCH_propagation.json"

@@ -5,6 +5,8 @@
 // combinations; and consistent otherwise." (paper, Section 2.1)
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -52,6 +54,21 @@ class Constraint {
   /// so a Constraint is not safe for concurrent evaluation.
   expr::CompiledExpr& compiled() noexcept { return *compiled_; }
 
+  /// Miner cache: residual enclosure and per-argument derived direction from
+  /// the last compiled-AD sweep, keyed on the network's box generation
+  /// counter (`Network::generation()`).  A mine over an unchanged box — the
+  /// common case for what-if reporting and repeated browser refreshes —
+  /// reuses this instead of re-sweeping the expression.  None of the cached
+  /// quantities are charged evaluations (mining bookkeeping never is), so
+  /// the cache cannot perturb the paper's cost metric.
+  struct MiningCache {
+    std::uint64_t generation = std::numeric_limits<std::uint64_t>::max();
+    interval::Interval residual;
+    /// Parallel to `arguments()`.
+    std::vector<expr::Direction> argDirection;
+  };
+  MiningCache& miningCache() noexcept { return miningCache_; }
+
   /// Declared monotonicity (from DDDL "monotone increasing/decreasing in"):
   /// the direction of the *property* movement that helps satisfy the
   /// constraint.  Empty entries fall back to derived monotonicity.
@@ -73,6 +90,7 @@ class Constraint {
   std::vector<PropertyId> args_;
   std::unique_ptr<expr::CompiledExpr> compiled_;
   std::map<PropertyId, int> declaredHelp_;
+  MiningCache miningCache_;
 };
 
 /// Classifies a residual enclosure against a target interval per the paper's

@@ -1,5 +1,7 @@
 #include "constraint/miner.hpp"
 
+#include <algorithm>
+
 #include "expr/derivative.hpp"
 
 namespace adpm::constraint {
@@ -16,31 +18,20 @@ int neededResidualShift(const interval::Interval& residual,
   return 0;
 }
 
-/// Sign of ∂residual/∂p over the box: +1, -1, or 0 when unproven.
-int residualSlopeSign(const Constraint& c, PropertyId p,
-                      const std::vector<interval::Interval>& box) {
-  switch (expr::monotonicity(c.residual(), box, p.value)) {
-    case expr::Direction::Increasing:
-      return +1;
-    case expr::Direction::Decreasing:
-      return -1;
-    default:
-      return 0;
-  }
-}
-
-}  // namespace
-
-int helpDirection(Network& net, Constraint& c, PropertyId p,
-                  const std::vector<interval::Interval>& box) {
-  (void)net;
+/// Combines the residual's position, the relation's natural side, and the
+/// derived slope direction into a help direction.  Shared by the reference
+/// and fast engines so the two differ only in how `residual` and `slope`
+/// were obtained.  Precedence (see helpDirection's doc comment): proven
+/// sign > proven Constant (0, no fallback) > declared fallback for Unknown.
+int combineHelpDirection(const Constraint& c, PropertyId p,
+                         const interval::Interval& residual,
+                         expr::Direction slope) {
   // Decide which way the residual needs to move.  For a violated constraint
   // the side is determined by where the residual enclosure sits relative to
   // the target; for a non-violated one we use the relation's natural side
   // (Le wants the residual lower, Ge higher).  This reuses the state the
   // propagation pass just computed, so it is bookkeeping, not a tool run —
   // no evaluation charge.
-  const interval::Interval residual = c.compiled().evaluate(box);
   int shift = neededResidualShift(residual, c.target());
   if (shift == 0) {
     switch (c.relation()) {
@@ -50,12 +41,55 @@ int helpDirection(Network& net, Constraint& c, PropertyId p,
     }
   }
 
-  const int slope = residualSlopeSign(c, p, box);
-  if (slope != 0) return shift * slope;
-
+  switch (slope) {
+    case expr::Direction::Increasing:
+      return shift;
+    case expr::Direction::Decreasing:
+      return -shift;
+    case expr::Direction::Constant:
+    case expr::Direction::None:
+      // Proven ineffective over this box (or not an argument at all): no
+      // direction, and no declared fallback — a declaration must not
+      // override a proof that moving p cannot change the residual.
+      return 0;
+    case expr::Direction::Unknown:
+      break;
+  }
   // Derived monotonicity is inconclusive over this box; fall back to the
   // DDDL-declared help direction if the scenario provided one.
   return c.declaredHelpDirection(p);
+}
+
+/// Fast-engine help direction: reads the constraint's mining cache,
+/// refreshing it with one fused AD sweep when the box generation moved.
+int cachedHelpDirection(Constraint& c, PropertyId p, std::uint64_t generation,
+                        const std::vector<interval::Interval>& box) {
+  Constraint::MiningCache& cache = c.miningCache();
+  if (cache.generation != generation) {
+    const expr::DerivativeSweep sweep = c.compiled().derivatives(box);
+    cache.residual = sweep.value;
+    cache.argDirection.resize(c.arguments().size());
+    for (std::size_t k = 0; k < cache.argDirection.size(); ++k) {
+      cache.argDirection[k] = expr::directionOf(sweep.derivatives[k]);
+    }
+    cache.generation = generation;
+  }
+  // arguments() is ascending by id (it mirrors the compiled expression's
+  // variable list), so the argument slot is a binary search away.
+  const auto& args = c.arguments();
+  const auto it = std::lower_bound(args.begin(), args.end(), p);
+  const auto k = static_cast<std::size_t>(it - args.begin());
+  return combineHelpDirection(c, p, cache.residual, cache.argDirection[k]);
+}
+
+}  // namespace
+
+int helpDirection(Network& net, Constraint& c, PropertyId p,
+                  const std::vector<interval::Interval>& box) {
+  (void)net;
+  const interval::Interval residual = c.compiled().evaluate(box);
+  return combineHelpDirection(c, p, residual,
+                              expr::monotonicity(c.residual(), box, p.value));
 }
 
 GuidanceReport HeuristicMiner::mine(Network& net,
@@ -65,7 +99,7 @@ GuidanceReport HeuristicMiner::mine(Network& net,
   report.properties.resize(net.propertyCount());
 
   const auto box = net.currentBox();
-  const Propagator propagator(options_.propagation);
+  const std::uint64_t generation = net.generation();
 
   for (std::uint32_t pi = 0; pi < net.propertyCount(); ++pi) {
     const PropertyId pid{pi};
@@ -89,7 +123,9 @@ GuidanceReport HeuristicMiner::mine(Network& net,
       const bool violated = prop.isViolated(cid);
       if (violated) ++g.alpha;
 
-      const int dir = helpDirection(net, c, pid, box);
+      const int dir = options_.engine == MinerEngine::Fast
+                          ? cachedHelpDirection(c, pid, generation, box)
+                          : helpDirection(net, c, pid, box);
       if (dir > 0) {
         g.increasing.push_back(cid);
         if (violated) ++g.repairVotesUp;
@@ -104,7 +140,7 @@ GuidanceReport HeuristicMiner::mine(Network& net,
     // range ("what could this be rebound to?").  That requires a relaxed
     // re-propagation — more tool runs, charged to the network.
     if (options_.whatIfForViolated && p.bound() && g.alpha > 0) {
-      const PropagationResult relaxed = propagator.runRelaxed(net, pid);
+      const PropagationResult relaxed = propagator_.runRelaxed(net, pid);
       report.extraEvaluations += relaxed.evaluations;
       g.feasible = relaxed.feasible.at(pi);
       g.relativeFeasibleSize = g.feasible.relativeMeasure(p.initial);

@@ -22,6 +22,7 @@ PropertyId Network::addProperty(PropertySpec spec) {
   p.preference = spec.preference;
   properties_.push_back(std::move(p));
   byProperty_.emplace_back();
+  ++generation_;
   return id;
 }
 
@@ -45,6 +46,7 @@ ConstraintId Network::addConstraint(std::string name, expr::Expr lhs,
   }
   constraints_.push_back(std::move(c));
   active_.push_back(active);
+  ++generation_;
   return id;
 }
 
@@ -61,6 +63,7 @@ void Network::activate(ConstraintId c) {
     throw adpm::InvalidArgumentError("unknown constraint id " +
                                      std::to_string(c.value));
   }
+  if (!active_[c.value]) ++generation_;
   active_[c.value] = true;
 }
 
@@ -136,9 +139,15 @@ std::vector<ConstraintId> Network::constraintIds() const {
   return ids;
 }
 
-void Network::bind(PropertyId p, double v) { property(p).value = v; }
+void Network::bind(PropertyId p, double v) {
+  property(p).value = v;
+  ++generation_;
+}
 
-void Network::unbind(PropertyId p) { property(p).value.reset(); }
+void Network::unbind(PropertyId p) {
+  property(p).value.reset();
+  ++generation_;
+}
 
 std::vector<interval::Interval> Network::currentBox() const {
   std::vector<interval::Interval> box;

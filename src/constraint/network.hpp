@@ -109,12 +109,22 @@ class Network {
   /// Used by the propagation engine to charge its revises to this network.
   void chargeEvaluations(std::size_t n) noexcept { evaluations_ += n; }
 
+  /// Box generation: bumped by every mutation routed through this API that
+  /// can change `currentBox()` or the active set (add/bind/unbind/activate).
+  /// The miner keys its per-constraint residual/monotonicity caches on this,
+  /// so repeated mines over an unchanged box (what-if reporting, repeated
+  /// browser refreshes) skip recomputation.  Mutating a Property obtained
+  /// from the non-const `property()` accessor bypasses the counter — bind
+  /// through the network, as all in-tree code does.
+  std::uint64_t generation() const noexcept { return generation_; }
+
  private:
   std::vector<Property> properties_;
   std::vector<std::unique_ptr<Constraint>> constraints_;
   std::vector<bool> active_;
   std::vector<std::vector<ConstraintId>> byProperty_;
   std::size_t evaluations_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace adpm::constraint

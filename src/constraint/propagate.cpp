@@ -34,6 +34,151 @@ PropagationResult Propagator::runRelaxed(Network& net, PropertyId p) const {
 
 PropagationResult Propagator::runOnBox(
     Network& net, std::vector<interval::Interval> box) const {
+  return options_.referenceMode ? runOnBoxReference(net, std::move(box))
+                                : runOnBoxFast(net, std::move(box));
+}
+
+// The production hot path: identical algorithm and revise order to the
+// reference below, but every per-revise and per-candidate buffer lives in
+// the reused scratch arena, so steady-state propagation performs no heap
+// allocation beyond the result it returns.  The differential tests hold the
+// two paths to bit-identical results and charges.
+PropagationResult Propagator::runOnBoxFast(
+    Network& net, std::vector<interval::Interval> box) const {
+  const std::size_t nc = net.constraintCount();
+  PropagationResult result;
+  result.status.assign(nc, Status::Consistent);
+
+  // FIFO queue: vector + head cursor.  Entries are appended at the tail and
+  // consumed at the head; the backing storage is recycled across runs.  The
+  // total number of pushes per run is bounded by the revise cap times the
+  // network degree, so the tail never runs away.
+  Scratch& s = scratch_;
+  s.queue.clear();
+  s.queueHead = 0;
+  s.queued.assign(nc, 0);
+  for (std::uint32_t i = 0; i < nc; ++i) {
+    if (!net.isActive(ConstraintId{i})) continue;  // not generated yet
+    s.queue.push_back(ConstraintId{i});
+    s.queued[i] = 1;
+  }
+
+  const std::size_t maxRevises =
+      std::max<std::size_t>(nc * options_.maxRevisesPerConstraint, nc);
+  std::size_t revises = 0;
+  std::size_t sweepBoundary = s.queue.size();
+  bool sweptOnce = false;
+
+  while (s.queueHead < s.queue.size() && revises < maxRevises) {
+    if (sweepBoundary == 0) {
+      ++result.passes;
+      sweepBoundary = s.queue.size() - s.queueHead;
+      if (!options_.fixpoint && sweptOnce) break;
+      sweptOnce = true;
+    }
+    --sweepBoundary;
+
+    const ConstraintId cid = s.queue[s.queueHead++];
+    s.queued[cid.value] = 0;
+
+    Constraint& c = net.constraint(cid);
+
+    // Snapshot the arguments to detect significant narrowing (reused
+    // buffer; capacity persists across revises and runs).
+    s.before.clear();
+    for (PropertyId arg : c.arguments()) s.before.push_back(box[arg.value]);
+
+    // Revise against a tolerance-padded target: a first forward sweep sizes
+    // the pad to the residual's magnitude so boundary-exact designs are not
+    // flipped to Violated by rounding.
+    const interval::Interval forward =
+        c.compiled().evaluate({box.data(), box.size()});
+    const interval::Interval target = tolerancedTarget(c.target(), forward);
+    const expr::ReviseResult r =
+        c.compiled().revise(target, {box.data(), box.size()});
+    ++revises;
+
+    if (!r.feasible) {
+      result.status[cid.value] = Status::Violated;
+      continue;  // no narrowing to propagate from a violated constraint
+    }
+    result.status[cid.value] = classify(r.value, target);
+
+    if (!r.narrowed || !options_.fixpoint) continue;
+
+    for (std::size_t i = 0; i < c.arguments().size(); ++i) {
+      const PropertyId arg = c.arguments()[i];
+      if (!movedSignificantly(s.before[i], box[arg.value],
+                              options_.tolerance)) {
+        continue;
+      }
+      for (ConstraintId neighbour : net.constraintsOf(arg)) {
+        if (neighbour == cid || s.queued[neighbour.value]) continue;
+        if (!net.isActive(neighbour)) continue;
+        s.queue.push_back(neighbour);
+        s.queued[neighbour.value] = 1;
+      }
+    }
+  }
+  if (result.passes == 0) result.passes = 1;
+
+  result.evaluations = revises;
+  net.chargeEvaluations(revises);
+
+  result.hulls = std::move(box);
+  result.feasible.reserve(net.propertyCount());
+  for (std::uint32_t i = 0; i < net.propertyCount(); ++i) {
+    const Property& p = net.property(PropertyId{i});
+    result.feasible.push_back(p.initial.intersect(result.hulls[i]));
+  }
+
+  // Discrete shaving: drop values of unbound discrete properties that no
+  // consistent constraint supports.  One probe box is built per run and
+  // patched in place per candidate value (shaving edits result.feasible
+  // only, never the hulls the probe mirrors).
+  if (options_.filterDiscrete) {
+    s.probe.assign(result.hulls.begin(), result.hulls.end());
+    for (std::uint32_t i = 0; i < net.propertyCount(); ++i) {
+      const Property& p = net.property(PropertyId{i});
+      if (!p.initial.isDiscrete() || p.bound()) continue;
+      if (result.feasible[i].empty()) continue;
+
+      std::vector<double> supported;
+      for (const double v : result.feasible[i].values()) {
+        bool ok = true;
+        s.probe[i] = interval::Interval(v);
+        for (ConstraintId cid : net.constraintsOf(PropertyId{i})) {
+          if (!net.isActive(cid)) continue;
+          if (result.status[cid.value] == Status::Violated) continue;
+          Constraint& c = net.constraint(cid);
+          const interval::Interval residual =
+              c.compiled().evaluate({s.probe.data(), s.probe.size()});
+          ++result.evaluations;
+          net.chargeEvaluations(1);
+          if (!residual.intersects(tolerancedTarget(c.target(), residual))) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) supported.push_back(v);
+      }
+      s.probe[i] = result.hulls[i];
+      result.feasible[i] = interval::Domain::discrete(std::move(supported));
+    }
+  }
+  for (std::uint32_t i = 0; i < nc; ++i) {
+    if (result.status[i] == Status::Violated) {
+      result.violated.push_back(ConstraintId{i});
+    }
+  }
+  return result;
+}
+
+// The pre-optimization implementation, kept verbatim as the differential
+// baseline (Options::referenceMode).  Any edit to the fast path above must
+// keep the differential tests against this path green.
+PropagationResult Propagator::runOnBoxReference(
+    Network& net, std::vector<interval::Interval> box) const {
   const std::size_t nc = net.constraintCount();
   PropagationResult result;
   result.status.assign(nc, Status::Consistent);

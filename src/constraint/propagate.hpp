@@ -11,6 +11,7 @@
 // the "extra tool runs" cost the paper attributes to ADPM.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "constraint/network.hpp"
@@ -58,6 +59,12 @@ class Propagator {
     /// and unsupported values are dropped from the feasible set.  Hull
     /// consistency alone cannot remove interior values of a discrete set.
     bool filterDiscrete = true;
+    /// Run the pre-optimization implementation (fresh allocations per
+    /// revise, per-candidate box copies in discrete shaving) instead of the
+    /// zero-allocation path.  Results are identical; the naive path is
+    /// retained solely as the baseline the differential tests compare the
+    /// optimized hot path against.
+    bool referenceMode = false;
   };
 
   Propagator() = default;
@@ -78,8 +85,32 @@ class Propagator {
  private:
   PropagationResult runOnBox(Network& net,
                              std::vector<interval::Interval> box) const;
+  PropagationResult runOnBoxFast(Network& net,
+                                 std::vector<interval::Interval> box) const;
+  PropagationResult runOnBoxReference(
+      Network& net, std::vector<interval::Interval> box) const;
 
   Options options_;
+
+  /// Scratch arena reused across runs so the steady-state hot path performs
+  /// no heap allocation: the per-revise `before` snapshot, the AC-3 FIFO
+  /// and its membership bitmap, and the discrete-shaving probe box.  All
+  /// buffers keep their capacity between runs.  Mutable because the public
+  /// entry points are const (they do not change *observable* propagator
+  /// state); consequently a Propagator instance is not safe for concurrent
+  /// use — every engine/thread owns its own, as the parallel seed sweep
+  /// already guarantees.
+  struct Scratch {
+    std::vector<interval::Interval> before;
+    /// FIFO as vector + head cursor (std::deque churns block allocations).
+    std::vector<ConstraintId> queue;
+    std::size_t queueHead = 0;
+    /// Queued-set membership; std::uint8_t, not vector<bool>, so tests and
+    /// clears are single byte ops without bit masking.
+    std::vector<std::uint8_t> queued;
+    std::vector<interval::Interval> probe;
+  };
+  mutable Scratch scratch_;
 };
 
 }  // namespace adpm::constraint

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "expr/sweep.hpp"
 #include "util/error.hpp"
 
 namespace adpm::expr {
@@ -59,12 +60,132 @@ void CompiledExpr::forwardSweep(std::span<const Interval> domains) {
 }
 
 Interval CompiledExpr::evaluate(std::span<const Interval> domains) {
+  countSweep();
   forwardSweep(domains);
   return fwd_.back();
 }
 
+DerivativeSweep CompiledExpr::derivatives(std::span<const Interval> domains) {
+  countSweep();
+  forwardSweep(domains);
+
+  const std::size_t nv = vars_.size();
+  tan_.resize(nodes_.size() * nv);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const CNode& n = nodes_[i];
+    Interval* d = tan_.data() + i * nv;
+    const Interval* dx =
+        n.child0 >= 0 ? tan_.data() + static_cast<std::size_t>(n.child0) * nv
+                      : nullptr;
+    const Interval* dy =
+        n.child1 >= 0 ? tan_.data() + static_cast<std::size_t>(n.child1) * nv
+                      : nullptr;
+    const auto x = [&]() -> const Interval& {
+      return fwd_[static_cast<std::size_t>(n.child0)];
+    };
+    const auto y = [&]() -> const Interval& {
+      return fwd_[static_cast<std::size_t>(n.child1)];
+    };
+    // Each case mirrors expr::evalDerivative's formula and operation order
+    // exactly, so the per-variable enclosures are bit-identical to the
+    // recursive tree walk (the differential tests assert this).
+    switch (n.kind) {
+      case OpKind::Const:
+        for (std::size_t k = 0; k < nv; ++k) d[k] = Interval(0.0);
+        break;
+      case OpKind::Var:
+        for (std::size_t k = 0; k < nv; ++k) {
+          d[k] = Interval(vars_[k] == n.var ? 1.0 : 0.0);
+        }
+        break;
+      case OpKind::Add:
+        for (std::size_t k = 0; k < nv; ++k) d[k] = dx[k] + dy[k];
+        break;
+      case OpKind::Sub:
+        for (std::size_t k = 0; k < nv; ++k) d[k] = dx[k] - dy[k];
+        break;
+      case OpKind::Mul:
+        for (std::size_t k = 0; k < nv; ++k) {
+          d[k] = dx[k] * y() + x() * dy[k];
+        }
+        break;
+      case OpKind::Div:
+        for (std::size_t k = 0; k < nv; ++k) {
+          d[k] = (dx[k] * y() - x() * dy[k]) / interval::sqr(y());
+        }
+        break;
+      case OpKind::Neg:
+        for (std::size_t k = 0; k < nv; ++k) d[k] = -dx[k];
+        break;
+      case OpKind::Sqrt:
+        // fwd_[i] is sqrt(x), the `root` of the tree-walking formula.
+        for (std::size_t k = 0; k < nv; ++k) {
+          d[k] = dx[k] / (Interval(2.0) * fwd_[i]);
+        }
+        break;
+      case OpKind::Sqr:
+        for (std::size_t k = 0; k < nv; ++k) {
+          d[k] = Interval(2.0) * x() * dx[k];
+        }
+        break;
+      case OpKind::Pow:
+        for (std::size_t k = 0; k < nv; ++k) {
+          d[k] = Interval(static_cast<double>(n.exponent)) *
+                 interval::pow(x(), n.exponent - 1) * dx[k];
+        }
+        break;
+      case OpKind::Exp:
+        for (std::size_t k = 0; k < nv; ++k) d[k] = fwd_[i] * dx[k];
+        break;
+      case OpKind::Log:
+        for (std::size_t k = 0; k < nv; ++k) d[k] = dx[k] / x();
+        break;
+      case OpKind::Abs: {
+        Interval sign;
+        if (x().lo() > 0.0) {
+          sign = Interval(1.0);
+        } else if (x().hi() < 0.0) {
+          sign = Interval(-1.0);
+        } else {
+          sign = Interval(-1.0, 1.0);  // kink inside the box
+        }
+        for (std::size_t k = 0; k < nv; ++k) d[k] = sign * dx[k];
+        break;
+      }
+      case OpKind::Min:
+        for (std::size_t k = 0; k < nv; ++k) {
+          if (x().hi() <= y().lo()) {
+            d[k] = dx[k];  // min is always the left operand
+          } else if (y().hi() <= x().lo()) {
+            d[k] = dy[k];
+          } else {
+            d[k] = interval::hull(dx[k], dy[k]);
+          }
+        }
+        break;
+      case OpKind::Max:
+        for (std::size_t k = 0; k < nv; ++k) {
+          if (x().lo() >= y().hi()) {
+            d[k] = dx[k];
+          } else if (y().lo() >= x().hi()) {
+            d[k] = dy[k];
+          } else {
+            d[k] = interval::hull(dx[k], dy[k]);
+          }
+        }
+        break;
+    }
+  }
+
+  DerivativeSweep out;
+  out.value = fwd_.back();
+  out.derivatives = {tan_.data() + (nodes_.size() - 1) * nv, nv};
+  return out;
+}
+
 ReviseResult CompiledExpr::revise(const Interval& target,
                                   std::span<Interval> domains) {
+  countSweep();
   forwardSweep({domains.data(), domains.size()});
   ReviseResult result;
   result.value = fwd_.back();
@@ -187,7 +308,8 @@ ReviseResult CompiledExpr::revise(const Interval& target,
   // enter); report infeasibility and leave the box untouched rather than
   // poisoning downstream propagation with an empty domain.
   // Aggregate across occurrences first, then check, then commit.
-  std::vector<Interval> refined(vars_.size());
+  refined_.resize(vars_.size());
+  std::vector<Interval>& refined = refined_;
   for (std::size_t k = 0; k < vars_.size(); ++k) refined[k] = domains[vars_[k]];
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     if (nodes_[i].kind != OpKind::Var) continue;

@@ -30,6 +30,17 @@ struct ReviseResult {
   bool narrowed = false;
 };
 
+/// Result of one fused value-plus-derivatives sweep.  `derivatives` is
+/// parallel to `CompiledExpr::variables()` and points into scratch owned by
+/// the CompiledExpr — it is valid only until the next sweep on the same
+/// instance.
+struct DerivativeSweep {
+  /// Forward interval enclosure of the expression over the input box.
+  interval::Interval value;
+  /// Enclosure of ∂e/∂v for every distinct variable v, ascending by VarId.
+  std::span<const interval::Interval> derivatives;
+};
+
 /// An expression flattened to postorder for repeated forward/backward sweeps.
 /// Not thread-safe: each instance owns scratch buffers.
 class CompiledExpr {
@@ -46,6 +57,16 @@ class CompiledExpr {
 
   /// Forward sweep only: interval enclosure of the expression over the box.
   interval::Interval evaluate(std::span<const interval::Interval> domains);
+
+  /// Fused forward-mode AD sweep: one pass over the postorder node array
+  /// computes the value enclosure *and* the derivative enclosure with
+  /// respect to every distinct variable at once.  The per-variable
+  /// derivative enclosures are bit-identical to `expr::evalDerivative`
+  /// (same formulas, same operation order) — the miner's differential
+  /// tests rely on this.  Counts as a single expression sweep where the
+  /// tree-walking path costs one `evaluate` plus one `monotonicity` walk
+  /// per (variable, expression) pair.
+  DerivativeSweep derivatives(std::span<const interval::Interval> domains);
 
   /// Full HC4-revise: narrows `domains` in place to values compatible with
   /// expression ∈ target.  If the revise proves infeasibility, domains are
@@ -71,6 +92,12 @@ class CompiledExpr {
   std::size_t span_ = 0;
   std::vector<interval::Interval> fwd_;
   std::vector<interval::Interval> bwd_;
+  /// Per-variable refinement scratch for `revise`'s harvest step (reused so
+  /// the steady-state revise allocates nothing).
+  std::vector<interval::Interval> refined_;
+  /// Tangent matrix for `derivatives`: nodes_.size() rows of vars_.size()
+  /// derivative enclosures, row-major, lazily sized on first use.
+  std::vector<interval::Interval> tan_;
 };
 
 }  // namespace adpm::expr

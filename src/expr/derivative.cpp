@@ -1,5 +1,6 @@
 #include "expr/derivative.hpp"
 
+#include "expr/sweep.hpp"
 #include "util/error.hpp"
 
 namespace adpm::expr {
@@ -126,7 +127,12 @@ ValueDerivative evalDerivative(const Expr& e, std::span<const Interval> domains,
 Direction monotonicity(const Expr& e, std::span<const Interval> domains,
                        VarId var) {
   if (!mentions(e, var)) return Direction::None;
-  const Interval d = evalDerivative(e, domains, var).derivative;
+  countSweep();  // one recursive value+derivative walk for one variable
+  return directionOf(evalDerivative(e, domains, var).derivative);
+}
+
+Direction directionOf(const interval::Interval& derivative) noexcept {
+  const Interval& d = derivative;
   if (d.empty()) return Direction::Unknown;
   if (d.lo() == 0.0 && d.hi() == 0.0) return Direction::Constant;
   if (d.lo() >= 0.0) return Direction::Increasing;

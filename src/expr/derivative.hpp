@@ -42,4 +42,11 @@ ValueDerivative evalDerivative(const Expr& e,
 Direction monotonicity(const Expr& e,
                        std::span<const interval::Interval> domains, VarId var);
 
+/// Classifies a derivative enclosure into a Direction: identically-zero ⇒
+/// Constant, provably signed ⇒ Increasing/Decreasing, else Unknown.  This is
+/// `monotonicity`'s classification step, shared with the compiled AD sweep
+/// so both paths agree by construction (it cannot distinguish None — callers
+/// that need None must check `mentions` themselves, as `monotonicity` does).
+Direction directionOf(const interval::Interval& derivative) noexcept;
+
 }  // namespace adpm::expr

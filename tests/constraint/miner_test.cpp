@@ -182,5 +182,69 @@ TEST(HelpDirection, FallsBackToDeclared) {
   EXPECT_EQ(helpDirection(net, net.constraint(cid), x, box), -1);
 }
 
+TEST(HelpDirection, ProvenConstantBeatsDeclaredDirection) {
+  // Precedence fix: Direction::Constant (derivative identically zero over
+  // the box — moving the property provably cannot change the residual) must
+  // yield "no direction" WITHOUT falling back to the DDDL declaration; only
+  // Unknown (sign unprovable) defers to the declared direction.
+  Network net;
+  const auto x = net.addProperty({"x", "o", Domain::continuous(0, 10), "", {}});
+  const auto y = net.addProperty({"y", "o", Domain::continuous(0, 10), "", {}});
+  // residual x*y - 50 <= 0; with y pinned at 0 the derivative w.r.t. x is
+  // the enclosure of y = [0,0] — proven Constant.
+  const auto cid = net.addConstraint("xy", net.var(x) * net.var(y),
+                                     Relation::Le, expr::Expr::constant(50.0));
+  net.constraint(cid).declareHelpDirection(x, false);
+  net.bind(y, 0.0);
+  const auto box = net.currentBox();
+  EXPECT_EQ(expr::monotonicity(net.constraint(cid).residual(), box, x.value),
+            expr::Direction::Constant);
+  // Despite the declared "decrease helps", the proven Constant wins.
+  EXPECT_EQ(helpDirection(net, net.constraint(cid), x, box), 0);
+
+  // Unpinned, the derivative sign is provable again (y ∈ [0,10] ⇒
+  // increasing residual, and Le wants it lower ⇒ decrease x helps): the
+  // proven sign, not the declaration, now drives the answer.  The genuinely
+  // Unknown → declared fallback is covered by FallsBackToDeclared above.
+  net.unbind(y);
+  const auto box2 = net.currentBox();
+  EXPECT_EQ(helpDirection(net, net.constraint(cid), x, box2), -1);
+}
+
+TEST(HeuristicMiner, FastEngineMatchesReferenceOnFixture) {
+  BrowserFixture f;
+  f.net.bind(f.w, 2.5);
+  f.net.bind(f.l, 0.2);
+  Propagator prop;
+  const auto r = prop.run(f.net);
+  HeuristicMiner fast{HeuristicMiner::Options{.engine = MinerEngine::Fast}};
+  HeuristicMiner ref{
+      HeuristicMiner::Options{.engine = MinerEngine::Reference}};
+  const auto gf = fast.mine(f.net, r);
+  const auto gr = ref.mine(f.net, r);
+  ASSERT_EQ(gf.properties.size(), gr.properties.size());
+  for (std::size_t i = 0; i < gf.properties.size(); ++i) {
+    EXPECT_EQ(gf.properties[i].beta, gr.properties[i].beta);
+    EXPECT_EQ(gf.properties[i].alpha, gr.properties[i].alpha);
+    EXPECT_EQ(gf.properties[i].increasing, gr.properties[i].increasing);
+    EXPECT_EQ(gf.properties[i].decreasing, gr.properties[i].decreasing);
+    EXPECT_EQ(gf.properties[i].repairVotesUp, gr.properties[i].repairVotesUp);
+    EXPECT_EQ(gf.properties[i].repairVotesDown,
+              gr.properties[i].repairVotesDown);
+    EXPECT_EQ(gf.properties[i].feasible, gr.properties[i].feasible);
+  }
+
+  // A rebind moves the box generation, so the fast engine's cache must
+  // refresh rather than serve stale directions.
+  f.net.bind(f.w, 7.5);
+  const auto r2 = prop.run(f.net);
+  const auto gf2 = fast.mine(f.net, r2);
+  const auto gr2 = ref.mine(f.net, r2);
+  for (std::size_t i = 0; i < gf2.properties.size(); ++i) {
+    EXPECT_EQ(gf2.properties[i].increasing, gr2.properties[i].increasing);
+    EXPECT_EQ(gf2.properties[i].decreasing, gr2.properties[i].decreasing);
+  }
+}
+
 }  // namespace
 }  // namespace adpm::constraint

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <vector>
 
+#include "expr/compiled.hpp"
 #include "expr/eval.hpp"
+#include "expr/sweep.hpp"
 #include "util/rng.hpp"
 
 namespace adpm::expr {
@@ -139,6 +141,74 @@ TEST(EvalDerivative, ValueEnclosureMatchesEval) {
   const std::vector<Interval> box{Interval(1, 2)};
   const auto vd = evalDerivative(e, box, 0);
   EXPECT_TRUE(vd.value.contains(evalInterval(e, box).mid()));
+}
+
+// The compiled fused sweep must reproduce the recursive tree walk
+// *bit-exactly* — same value enclosure, same derivative enclosure per
+// variable — because the miner's fast engine derives directions from it and
+// the differential tests demand identical GuidanceReports.
+TEST(CompiledDerivatives, BitIdenticalToTreeWalkAD) {
+  util::Rng rng(99991);
+  const Expr x = Expr::variable(0);
+  const Expr y = Expr::variable(1);
+  const Expr z = Expr::variable(2);
+  const std::vector<Expr> exprs{
+      x * y + sqr(x) - z,
+      x / (y + 5.0) + sqrt(abs(z) + 1.0),
+      exp(0.3 * x) - log(y + 6.0) * z,
+      pow(x, 3) - 2.0 * x * y + min(x, z),
+      max(x * y, z) + abs(y),
+      -(x + y) / (sqr(z) + 1.0),
+  };
+
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<Interval> box;
+    for (int v = 0; v < 3; ++v) {
+      const double a = rng.uniform(-4, 4);
+      const double b = rng.uniform(-4, 4);
+      // Mix point and wide domains, as real boxes do (bound vs unbound).
+      box.push_back(iter % 3 == 0 ? Interval(a)
+                                  : Interval(std::min(a, b), std::max(a, b)));
+    }
+    for (const Expr& e : exprs) {
+      CompiledExpr compiled(e);
+      const DerivativeSweep sweep = compiled.derivatives(box);
+      ASSERT_EQ(sweep.derivatives.size(), compiled.variables().size());
+      for (std::size_t k = 0; k < compiled.variables().size(); ++k) {
+        const VarId var = compiled.variables()[k];
+        const ValueDerivative vd = evalDerivative(e, box, var);
+        EXPECT_EQ(sweep.value, vd.value) << e.str();
+        EXPECT_EQ(sweep.derivatives[k], vd.derivative)
+            << e.str() << " d/dvar" << var;
+        EXPECT_EQ(directionOf(sweep.derivatives[k]),
+                  monotonicity(e, box, var))
+            << e.str() << " direction w.r.t. var" << var;
+      }
+    }
+  }
+}
+
+TEST(SweepCounter, CountsEachSweepKindOnce) {
+  const Expr x = Expr::variable(0);
+  const Expr y = Expr::variable(1);
+  const Expr e = x * y + sqr(x);
+  const std::vector<Interval> box{Interval(1, 2), Interval(3, 4)};
+  CompiledExpr compiled(e);
+
+  resetSweepCount();
+  (void)compiled.evaluate(box);
+  EXPECT_EQ(sweepCount(), 1u);
+  (void)compiled.derivatives(box);  // fused: one sweep for all variables
+  EXPECT_EQ(sweepCount(), 2u);
+  (void)monotonicity(e, box, 0);  // tree walk: one sweep per variable
+  (void)monotonicity(e, box, 1);
+  EXPECT_EQ(sweepCount(), 4u);
+  std::vector<Interval> working = box;
+  (void)compiled.revise(Interval(0.0, 100.0),
+                        {working.data(), working.size()});
+  EXPECT_EQ(sweepCount(), 5u);
+  resetSweepCount();
+  EXPECT_EQ(sweepCount(), 0u);
 }
 
 }  // namespace

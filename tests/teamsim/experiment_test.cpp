@@ -6,6 +6,7 @@
 
 #include "util/error.hpp"
 
+#include "scenarios/receiver.hpp"
 #include "scenarios/sensing.hpp"
 #include "scenarios/walkthrough.hpp"
 #include "teamsim/statwindow.hpp"
@@ -44,6 +45,46 @@ TEST(Experiment, ComparisonShapesMatchThePaper) {
   EXPECT_GT(cmp.evaluationRatio(), 1.5);
   // ADPM spins are a small fraction of conventional's.
   EXPECT_LT(cmp.spinRatio(), 0.7);
+}
+
+void expectSameCell(const CellStats& parallel, const CellStats& serial) {
+  EXPECT_EQ(parallel.runs, serial.runs);
+  EXPECT_EQ(parallel.completed, serial.completed);
+  EXPECT_EQ(parallel.operations.count(), serial.operations.count());
+  // Welford merges associate differently across shards, so aggregates match
+  // to floating-point association, not bit-exactly.
+  EXPECT_NEAR(parallel.operations.mean(), serial.operations.mean(), 1e-9);
+  EXPECT_NEAR(parallel.operations.stddev(), serial.operations.stddev(), 1e-9);
+  EXPECT_NEAR(parallel.evaluations.mean(), serial.evaluations.mean(), 1e-9);
+  EXPECT_NEAR(parallel.evaluations.stddev(), serial.evaluations.stddev(),
+              1e-9);
+  EXPECT_NEAR(parallel.evaluationsPerOperation.mean(),
+              serial.evaluationsPerOperation.mean(), 1e-9);
+  EXPECT_NEAR(parallel.spins.mean(), serial.spins.mean(), 1e-9);
+  EXPECT_NEAR(parallel.spins.stddev(), serial.spins.stddev(), 1e-9);
+  EXPECT_NEAR(parallel.violationsFound.mean(), serial.violationsFound.mean(),
+              1e-9);
+}
+
+TEST(Experiment, ParallelSweepMatchesSerialOnReceiver) {
+  // Per-run seeds are identical under the static shard partition, so the
+  // merged parallel aggregates must equal the serial sweep's on the paper's
+  // main (receiver) case — for both flows, since the parallel driver is how
+  // the large sweeps run.
+  SimulationOptions base;
+  base.adpm = true;
+  const auto spec = scenarios::receiverScenario();
+  expectSameCell(runSeedSweepParallel(spec, base, 6, 1, "p", 3),
+                 runSeedSweep(spec, base, 6, 1, "s"));
+
+  base.adpm = false;  // conventional has real run-to-run variance
+  expectSameCell(runSeedSweepParallel(spec, base, 6, 1, "p", 3),
+                 runSeedSweep(spec, base, 6, 1, "s"));
+
+  // Degenerate thread counts collapse to the serial path unchanged.
+  base.adpm = true;
+  expectSameCell(runSeedSweepParallel(spec, base, 1, 1, "p", 8),
+                 runSeedSweep(spec, base, 1, 1, "s"));
 }
 
 TEST(Comparison, RatioGuards) {
