@@ -1,0 +1,162 @@
+// Design-session service runner: host a fleet of concurrent design sessions
+// (TeamSim designers as clients) on a worker pool, with durable operation
+// logs and crash recovery.
+//
+//   $ ./session_service_cli --scenario sensing --sessions 8 --threads 4
+//   $ ./session_service_cli --scenario receiver --sessions 4 --wal-dir /tmp/wal
+//   $ ./session_service_cli --wal-dir /tmp/wal --recover      # after a crash
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "scenarios/accelerometer.hpp"
+#include "scenarios/receiver.hpp"
+#include "scenarios/sensing.hpp"
+#include "scenarios/walkthrough.hpp"
+#include "service/load.hpp"
+#include "service/store.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+using namespace adpm;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: session_service_cli [options]\n"
+      "  --scenario <sensing|receiver|receiver4|accelerometer|walkthrough>\n"
+      "  --sessions <n>                 concurrent sessions (default 8)\n"
+      "  --threads <n>                  worker threads (default 4)\n"
+      "  --deterministic                single-threaded inline execution\n"
+      "  --adpm | --conventional        process flow (default ADPM)\n"
+      "  --seed <n>                     base seed; session i uses seed+i\n"
+      "  --max-ops <n>                  per-session operation cap\n"
+      "  --wal-dir <dir>                journal sessions to <dir>/<id>.wal\n"
+      "  --recover                      rebuild sessions from --wal-dir and\n"
+      "                                 print their replayed state (no load)\n");
+  return 2;
+}
+
+dpm::ScenarioSpec scenarioByName(const std::string& name) {
+  if (name == "sensing") return scenarios::sensingSystemScenario();
+  if (name == "receiver") return scenarios::receiverScenario();
+  if (name == "receiver4") return scenarios::receiverLargeTeamScenario();
+  if (name == "accelerometer") return scenarios::accelerometerScenario();
+  if (name == "walkthrough") return scenarios::walkthroughScenario();
+  throw adpm::InvalidArgumentError("unknown scenario '" + name + "'");
+}
+
+void printSessions(service::SessionStore& store) {
+  util::TextTable t;
+  t.header({"session", "stage", "complete", "evals", "violations", "digest"});
+  for (const std::string& id : store.ids()) {
+    const service::SessionSnapshot snap = store.snapshot(id).get();
+    t.row({snap.id, std::to_string(snap.stage), snap.complete ? "yes" : "no",
+           std::to_string(snap.evaluations), std::to_string(snap.violations),
+           snap.digest});
+  }
+  std::printf("%s", t.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenarioName = "sensing";
+  std::size_t sessions = 8;
+  unsigned threads = 4;
+  bool deterministic = false;
+  bool adpm = true;
+  std::uint64_t seed = 1;
+  std::size_t maxOps = 20000;
+  std::string walDir;
+  bool recover = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      scenarioName = next();
+    } else if (arg == "--sessions") {
+      sessions = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--threads") {
+      threads = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--deterministic") {
+      deterministic = true;
+    } else if (arg == "--adpm") {
+      adpm = true;
+    } else if (arg == "--conventional") {
+      adpm = false;
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--max-ops") {
+      maxOps = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--wal-dir") {
+      walDir = next();
+    } else if (arg == "--recover") {
+      recover = true;
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    service::SessionStore::Options options;
+    options.executor.threads = threads;
+    options.executor.deterministic = deterministic;
+    options.walDir = walDir;
+
+    if (recover) {
+      if (walDir.empty()) {
+        std::fprintf(stderr, "--recover needs --wal-dir\n");
+        return 2;
+      }
+      service::SessionStore store{std::move(options)};
+      const std::vector<std::string> ids = store.recover();
+      std::printf("recovered %zu session(s) from %s\n", ids.size(),
+                  walDir.c_str());
+      printSessions(store);
+      return 0;
+    }
+
+    service::SessionStore store{std::move(options)};
+    service::LoadOptions load;
+    load.sessions = sessions;
+    load.sim.adpm = adpm;
+    load.sim.seed = seed;
+    load.maxOperationsPerSession = maxOps;
+
+    const service::LoadReport report =
+        runLoad(store, scenarioByName(scenarioName), load);
+
+    const std::string workers =
+        deterministic ? "inline" : std::to_string(threads);
+    std::printf(
+        "scenario=%s flow=%s sessions=%zu workers=%s\n"
+        "completed=%zu operations=%zu evaluations=%zu\n"
+        "notifications: published=%zu delivered=%zu dropped=%zu\n"
+        "wall=%.3fs ops/sec=%.0f sessions/sec=%.2f\n\n",
+        scenarioName.c_str(), adpm ? "ADPM" : "conventional", report.sessions,
+        workers.c_str(), report.completedSessions, report.operations, report.evaluations,
+        report.notificationsPublished, report.notificationsDelivered,
+        report.notificationsDropped, report.wallSeconds, report.opsPerSecond,
+        report.sessionsPerSecond);
+    printSessions(store);
+    if (!walDir.empty()) {
+      std::printf("\noperation logs in %s (re-run with --recover to replay)\n",
+                  walDir.c_str());
+    }
+    return 0;
+  } catch (const adpm::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,17 +1,21 @@
 #!/usr/bin/env bash
-# Run the google-benchmark propagation suite and record machine-readable
-# results, seeding the repo's performance trajectory.
+# Run the google-benchmark suites and record machine-readable results,
+# seeding the repo's performance trajectory.
 #
 #   scripts/bench_json.sh [build-dir] [benchmark-filter]
 #
-# Writes BENCH_propagation.json in the repository root.  The interesting
-# counters:
+# Writes BENCH_propagation.json and BENCH_service.json in the repository
+# root.  The interesting counters:
 #   * BM_MineGuidance .../mode:0 vs mode:1 — expression sweeps per mine
 #     (sweeps_per_mine) and wall time, reference tree-walk engine vs the
 #     compiled-AD fast engine with a cold cache (the Θ(Σβᵢ) → Θ(nc) claim);
 #   * mode:2 — the fast engine over an unchanged box (generation-keyed cache
 #     hit, the what-if reporting steady state);
-#   * BM_PropagationFixpoint / BM_Hc4Revise — the zero-allocation hot path.
+#   * BM_PropagationFixpoint / BM_Hc4Revise — the zero-allocation hot path;
+#   * BM_ServiceFleet workers:1/2/4 — ops_per_sec and sessions_per_sec of
+#     the concurrent session service; the 4-vs-1 worker ratio is the scaling
+#     claim (needs >1 hardware thread to mean anything);
+#   * BM_ServiceFleetJournaled — the same fleet with the write-ahead log on.
 # Build in Release (or the default RelWithDebInfo) before trusting numbers.
 set -euo pipefail
 
@@ -19,17 +23,20 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
 filter="${2:-}"
 
-bench="$build/bench/bench_propagation"
-if [ ! -x "$bench" ]; then
-  echo "error: $bench not built (cmake --build $build --target bench_propagation)" >&2
-  exit 1
-fi
+run_suite() {
+  local bench="$1" out="$2"
+  if [ ! -x "$bench" ]; then
+    echo "error: $bench not built (cmake --build $build)" >&2
+    exit 1
+  fi
+  local args=(--benchmark_format=json --benchmark_out="$out"
+              --benchmark_out_format=json)
+  if [ -n "$filter" ]; then
+    args+=("--benchmark_filter=$filter")
+  fi
+  "$bench" "${args[@]}"
+  echo "wrote $out"
+}
 
-args=(--benchmark_format=json --benchmark_out="$repo/BENCH_propagation.json"
-      --benchmark_out_format=json)
-if [ -n "$filter" ]; then
-  args+=("--benchmark_filter=$filter")
-fi
-
-"$bench" "${args[@]}"
-echo "wrote $repo/BENCH_propagation.json"
+run_suite "$build/bench/bench_propagation" "$repo/BENCH_propagation.json"
+run_suite "$build/bench/bench_service" "$repo/BENCH_service.json"

@@ -4,9 +4,43 @@
 #include <cmath>
 #include <deque>
 
+#ifdef ADPM_DEBUG_CHECKS
+#include <cstdio>
+#include <cstdlib>
+#endif
+
 namespace adpm::constraint {
 
 namespace {
+
+#ifdef ADPM_DEBUG_CHECKS
+/// RAII claim on the propagator's scratch arena.  compare_exchange from the
+/// empty thread id detects a second thread entering while a run is in
+/// flight; that is the exact corruption scenario the scratch arena's
+/// single-owner contract forbids, so fail fast rather than let two runs
+/// interleave over the same buffers.
+class ScratchClaim {
+ public:
+  explicit ScratchClaim(std::atomic<std::thread::id>& owner) : owner_(owner) {
+    std::thread::id expected{};
+    if (!owner_.compare_exchange_strong(expected, std::this_thread::get_id(),
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "adpm: Propagator used concurrently from two threads; "
+                   "the scratch arena is single-owner — give each "
+                   "engine/session its own Propagator\n");
+      std::abort();
+    }
+  }
+  ~ScratchClaim() { owner_.store(std::thread::id{}, std::memory_order_release); }
+  ScratchClaim(const ScratchClaim&) = delete;
+  ScratchClaim& operator=(const ScratchClaim&) = delete;
+
+ private:
+  std::atomic<std::thread::id>& owner_;
+};
+#endif
 
 /// True when a bound moved by more than the significance tolerance.
 bool movedSignificantly(const interval::Interval& before,
@@ -34,6 +68,9 @@ PropagationResult Propagator::runRelaxed(Network& net, PropertyId p) const {
 
 PropagationResult Propagator::runOnBox(
     Network& net, std::vector<interval::Interval> box) const {
+#ifdef ADPM_DEBUG_CHECKS
+  const ScratchClaim claim(scratchOwner_.id);
+#endif
   return options_.referenceMode ? runOnBoxReference(net, std::move(box))
                                 : runOnBoxFast(net, std::move(box));
 }

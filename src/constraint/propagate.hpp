@@ -14,6 +14,11 @@
 #include <cstdint>
 #include <vector>
 
+#ifdef ADPM_DEBUG_CHECKS
+#include <atomic>
+#include <thread>
+#endif
+
 #include "constraint/network.hpp"
 #include "interval/domain.hpp"
 
@@ -111,6 +116,22 @@ class Propagator {
     std::vector<interval::Interval> probe;
   };
   mutable Scratch scratch_;
+
+#ifdef ADPM_DEBUG_CHECKS
+  /// Debug builds enforce the "one engine, one propagator" contract above:
+  /// the thread entering a run claims the scratch arena and releases it on
+  /// exit, so *concurrent* use from two threads aborts loudly instead of
+  /// silently corrupting the shared buffers.  Sequential use from different
+  /// threads (a session strand hopping pool threads) remains legal.  The
+  /// guard is identity, not state — copies start unclaimed.
+  struct ScratchOwner {
+    std::atomic<std::thread::id> id{};
+    ScratchOwner() = default;
+    ScratchOwner(const ScratchOwner&) noexcept {}
+    ScratchOwner& operator=(const ScratchOwner&) noexcept { return *this; }
+  };
+  mutable ScratchOwner scratchOwner_;
+#endif
 };
 
 }  // namespace adpm::constraint

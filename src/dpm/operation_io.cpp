@@ -1,0 +1,99 @@
+#include "dpm/operation_io.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace adpm::dpm {
+
+namespace {
+
+std::uint32_t asId(const util::json::Value& v, const char* what) {
+  const double n = v.asNumber();
+  if (n < 0 || n != std::floor(n)) {
+    throw adpm::InvalidArgumentError(std::string("operation json: bad ") +
+                                     what);
+  }
+  return static_cast<std::uint32_t>(n);
+}
+
+OperatorKind kindFromName(const std::string& name) {
+  if (name == "Synthesis") return OperatorKind::Synthesis;
+  if (name == "Verification") return OperatorKind::Verification;
+  if (name == "Decomposition") return OperatorKind::Decomposition;
+  throw adpm::InvalidArgumentError("operation json: unknown kind '" + name +
+                                   "'");
+}
+
+}  // namespace
+
+util::json::Value operationToJson(const Operation& op) {
+  util::json::Value v{util::json::Object{}};
+  v.set("kind", operatorKindName(op.kind));
+  v.set("problem", static_cast<std::size_t>(op.problem.value));
+  v.set("designer", op.designer);
+  if (!op.assignments.empty()) {
+    util::json::Array assign;
+    assign.reserve(op.assignments.size());
+    for (const auto& [pid, value] : op.assignments) {
+      assign.push_back(util::json::Array{
+          util::json::Value(static_cast<std::size_t>(pid.value)),
+          util::json::Value(value)});
+    }
+    v.set("assign", std::move(assign));
+  }
+  if (!op.checks.empty()) {
+    util::json::Array checks;
+    checks.reserve(op.checks.size());
+    for (const constraint::ConstraintId cid : op.checks) {
+      checks.push_back(util::json::Value(static_cast<std::size_t>(cid.value)));
+    }
+    v.set("checks", std::move(checks));
+  }
+  if (op.triggeredBy) {
+    v.set("trigger", static_cast<std::size_t>(op.triggeredBy->value));
+  }
+  if (!op.rationale.empty()) v.set("rationale", op.rationale);
+  return v;
+}
+
+Operation operationFromJson(const util::json::Value& v) {
+  Operation op;
+  op.kind = kindFromName(v.at("kind").asString());
+  op.problem = ProblemId{asId(v.at("problem"), "problem id")};
+  op.designer = v.at("designer").asString();
+  if (const util::json::Value* assign = v.find("assign")) {
+    for (const util::json::Value& pair : assign->asArray()) {
+      const util::json::Array& items = pair.asArray();
+      if (items.size() != 2) {
+        throw adpm::InvalidArgumentError("operation json: bad assignment");
+      }
+      op.assignments.emplace_back(
+          constraint::PropertyId{asId(items[0], "property id")},
+          items[1].asNumber());
+    }
+  }
+  if (const util::json::Value* checks = v.find("checks")) {
+    for (const util::json::Value& cid : checks->asArray()) {
+      op.checks.push_back(constraint::ConstraintId{asId(cid, "constraint id")});
+    }
+  }
+  if (const util::json::Value* trigger = v.find("trigger")) {
+    op.triggeredBy = constraint::ConstraintId{asId(*trigger, "trigger id")};
+  }
+  if (const util::json::Value* rationale = v.find("rationale")) {
+    op.rationale = rationale->asString();
+  }
+  return op;
+}
+
+std::string operationToJsonLine(const Operation& op) {
+  return util::json::serialize(operationToJson(op));
+}
+
+Operation operationFromJsonLine(const std::string& line) {
+  return operationFromJson(util::json::parse(line));
+}
+
+}  // namespace adpm::dpm

@@ -1,0 +1,35 @@
+// Operation serialization hooks: the JSON wire/journal form of a design
+// operation θ.
+//
+// The service layer's durable operation log stores one operation per JSONL
+// line; replaying those lines through a fresh DesignProcessManager must
+// reproduce the live run bit-identically, so the encoding is canonical
+// (insertion-ordered fields, %.17g doubles — see util/json.hpp) and total:
+// every field of Operation round-trips, including the optional triggeredBy
+// and the display-only rationale.
+#pragma once
+
+#include <string>
+
+#include "dpm/operation.hpp"
+#include "util/json.hpp"
+
+namespace adpm::dpm {
+
+/// Encodes an operation as a JSON object:
+///   {"kind":"Synthesis","problem":2,"designer":"ana",
+///    "assign":[[1,30.5],...],"checks":[0,4],"trigger":3,
+///    "rationale":"alpha=2, repairing budget"}
+/// `assign`/`checks` are omitted when empty, `trigger` when absent,
+/// `rationale` when empty.
+util::json::Value operationToJson(const Operation& op);
+
+/// Inverse of operationToJson; throws adpm::InvalidArgumentError on a
+/// malformed object (unknown kind, non-integral ids, ...).
+Operation operationFromJson(const util::json::Value& v);
+
+/// Canonical single-line form (serialize(operationToJson(op))).
+std::string operationToJsonLine(const Operation& op);
+Operation operationFromJsonLine(const std::string& line);
+
+}  // namespace adpm::dpm

@@ -1,0 +1,106 @@
+#include "service/bus.hpp"
+
+namespace adpm::service {
+
+std::shared_ptr<NotificationBus::Queue> NotificationBus::subscribe(
+    const std::string& sessionId, const std::string& designer) {
+  return subscribe(sessionId, designer, options_.queueCapacity,
+                   options_.overflow);
+}
+
+std::shared_ptr<NotificationBus::Queue> NotificationBus::subscribe(
+    const std::string& sessionId, const std::string& designer,
+    std::size_t capacity, util::OverflowPolicy overflow) {
+  auto queue = std::make_shared<Queue>(capacity, overflow);
+  std::lock_guard<std::mutex> lock(mutex_);
+  bySession_[sessionId].push_back(Subscription{designer, queue});
+  return queue;
+}
+
+void NotificationBus::publish(const std::string& sessionId,
+                              const std::vector<dpm::Notification>& batch) {
+  if (batch.empty()) return;
+
+  // Snapshot the subscriptions, then push outside the bus lock: a Block
+  // queue may park this producer until its consumer catches up, and that
+  // must not hold up subscribe()/closeSession() on other sessions.
+  std::vector<Subscription> targets;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    published_ += batch.size();
+    const auto it = bySession_.find(sessionId);
+    if (it != bySession_.end()) targets = it->second;
+  }
+
+  std::size_t delivered = 0;
+  std::size_t unrouted = 0;
+  for (const dpm::Notification& n : batch) {
+    bool routed = false;
+    for (const Subscription& sub : targets) {
+      if (sub.designer != n.designer) continue;
+      if (sub.queue->push(n)) {
+        routed = true;
+        ++delivered;
+      }
+    }
+    if (!routed) ++unrouted;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    delivered_ += delivered;
+    unrouted_ += unrouted;
+  }
+}
+
+void NotificationBus::closeSession(const std::string& sessionId) {
+  std::vector<Subscription> victims;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = bySession_.find(sessionId);
+    if (it == bySession_.end()) return;
+    victims = std::move(it->second);
+    bySession_.erase(it);
+  }
+  std::size_t dropped = 0;
+  for (const Subscription& sub : victims) {
+    sub.queue->close();
+    dropped += sub.queue->dropped();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  retiredDropped_ += dropped;
+}
+
+void NotificationBus::closeAll() {
+  std::vector<std::string> ids;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, subs] : bySession_) ids.push_back(id);
+  }
+  for (const std::string& id : ids) closeSession(id);
+}
+
+std::size_t NotificationBus::published() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return published_;
+}
+
+std::size_t NotificationBus::delivered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return delivered_;
+}
+
+std::size_t NotificationBus::unrouted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return unrouted_;
+}
+
+std::size_t NotificationBus::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = retiredDropped_;
+  for (const auto& [id, subs] : bySession_) {
+    for (const Subscription& sub : subs) total += sub.queue->dropped();
+  }
+  return total;
+}
+
+}  // namespace adpm::service

@@ -1,0 +1,87 @@
+// Asynchronous notification bus.
+//
+// The NotificationManager computes, per applied operation, the fan-out of
+// notifications each designer should receive (paper §2.2).  In the
+// sequential TeamSim loop that fan-out is consumed synchronously; the
+// service makes it truly asynchronous: each (session, designer) subscriber
+// owns a bounded MPSC queue, session strands publish into it, and consumers
+// drain at their own pace.  Overflow behaviour is the subscriber's choice
+// (Block = backpressure the session, DropOldest = prefer fresh events) and
+// every drop is counted — losing guidance silently is exactly the failure
+// mode the paper's NM exists to prevent.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dpm/notification.hpp"
+#include "util/mpsc_queue.hpp"
+
+namespace adpm::service {
+
+class NotificationBus {
+ public:
+  using Queue = util::BoundedMpscQueue<dpm::Notification>;
+
+  struct Options {
+    std::size_t queueCapacity = 256;
+    util::OverflowPolicy overflow = util::OverflowPolicy::DropOldest;
+  };
+
+  NotificationBus() : NotificationBus(Options{}) {}
+  explicit NotificationBus(Options options) : options_(options) {}
+
+  /// Subscribes to one designer's notifications within one session.  The
+  /// returned queue lives as long as the caller holds it; multiple
+  /// subscribers per (session, designer) each get every notification.
+  /// Per-subscription capacity/policy overrides fall back to the bus
+  /// defaults when not given.
+  std::shared_ptr<Queue> subscribe(const std::string& sessionId,
+                                   const std::string& designer);
+  std::shared_ptr<Queue> subscribe(const std::string& sessionId,
+                                   const std::string& designer,
+                                   std::size_t capacity,
+                                   util::OverflowPolicy overflow);
+
+  /// Publishes one operation's fan-out, routing each notification to the
+  /// subscribers of (sessionId, notification.designer).  Notifications for
+  /// designers with no subscriber are counted as unrouted, not an error —
+  /// a service client may only care about one seat at the table.
+  void publish(const std::string& sessionId,
+               const std::vector<dpm::Notification>& batch);
+
+  /// Closes every queue of a session (wakes blocked producers/consumers)
+  /// and forgets its subscriptions.
+  void closeSession(const std::string& sessionId);
+  /// Closes everything.
+  void closeAll();
+
+  // -- counters (monotonic, service lifetime) --------------------------------
+  std::size_t published() const;  ///< notifications entering the bus
+  std::size_t delivered() const;  ///< accepted into some subscriber queue
+  std::size_t unrouted() const;   ///< no subscriber for (session, designer)
+  /// Total DropOldest evictions across all queues ever subscribed.
+  std::size_t dropped() const;
+
+ private:
+  struct Subscription {
+    std::string designer;
+    std::shared_ptr<Queue> queue;
+  };
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<Subscription>> bySession_;
+  /// Drop counts of queues already closed/forgotten, so dropped() never
+  /// goes backwards when a session closes.
+  std::size_t retiredDropped_ = 0;
+  std::size_t published_ = 0;
+  std::size_t delivered_ = 0;
+  std::size_t unrouted_ = 0;
+};
+
+}  // namespace adpm::service

@@ -1,0 +1,126 @@
+#include "service/load.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <latch>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "teamsim/client.hpp"
+
+namespace adpm::service {
+
+namespace {
+
+struct SessionDriver {
+  std::string id;
+  teamsim::SimulationOptions sim;
+  std::size_t maxOps = 0;
+  /// Built lazily on the strand (needs the instantiated manager).
+  std::optional<teamsim::TeamClient> client;
+  std::size_t ops = 0;
+
+  std::latch* done = nullptr;
+  std::atomic<std::size_t>* totalOps = nullptr;
+  std::atomic<std::size_t>* completedSessions = nullptr;
+};
+
+/// One operation per strand dispatch: propose, apply, observe, chain the
+/// next step.  Fairness across sessions comes from the strand scheduler
+/// (one task per pool slot), not from this function.
+void pumpSession(SessionStore& store,
+                 const std::shared_ptr<SessionDriver>& driver) {
+  store.withSession(driver->id, [&store, driver](Session& session) {
+    if (!driver->client) {
+      driver->client.emplace(session.manager(), driver->sim);
+    }
+    std::optional<dpm::Operation> op;
+    if (driver->ops < driver->maxOps) {
+      op = driver->client->propose(session.manager());
+    }
+    if (!op) {  // idle: complete, deadlocked, or over budget
+      if (session.complete()) driver->completedSessions->fetch_add(1);
+      driver->totalOps->fetch_add(driver->ops);
+      driver->done->count_down();
+      return;
+    }
+    const dpm::DesignProcessManager::ExecResult result =
+        session.apply(std::move(*op));
+    driver->client->observe(session.manager(), result.record);
+    ++driver->ops;
+    pumpSession(store, driver);
+  });
+}
+
+}  // namespace
+
+LoadReport runLoad(SessionStore& store, const dpm::ScenarioSpec& spec,
+                   const LoadOptions& options) {
+  LoadReport report;
+  report.sessions = options.sessions;
+  if (options.sessions == 0) return report;
+
+  std::set<std::string> designers;
+  for (const dpm::ScenarioSpec::Prob& p : spec.problems) {
+    if (!p.owner.empty()) designers.insert(p.owner);
+  }
+
+  const std::size_t publishedBefore = store.bus().published();
+  const std::size_t deliveredBefore = store.bus().delivered();
+  const std::size_t droppedBefore = store.bus().dropped();
+
+  std::latch done(static_cast<std::ptrdiff_t>(options.sessions));
+  std::atomic<std::size_t> totalOps{0};
+  std::atomic<std::size_t> completedSessions{0};
+
+  std::vector<std::string> ids;
+  std::vector<std::shared_ptr<NotificationBus::Queue>> queues;
+  ids.reserve(options.sessions);
+  for (std::size_t i = 0; i < options.sessions; ++i) {
+    const std::string id = options.idPrefix + std::to_string(i);
+    store.open(id, spec, options.sim.adpm);
+    if (options.subscribe) {
+      for (const std::string& designer : designers) {
+        queues.push_back(store.subscribe(id, designer));
+      }
+    }
+    ids.push_back(id);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < options.sessions; ++i) {
+    auto driver = std::make_shared<SessionDriver>();
+    driver->id = ids[i];
+    driver->sim = options.sim;
+    driver->sim.seed = options.sim.seed + i;  // distinct stream per session
+    driver->maxOps = options.maxOperationsPerSession;
+    driver->done = &done;
+    driver->totalOps = &totalOps;
+    driver->completedSessions = &completedSessions;
+    pumpSession(store, driver);
+  }
+  done.wait();
+  const auto stop = std::chrono::steady_clock::now();
+
+  report.completedSessions = completedSessions.load();
+  report.operations = totalOps.load();
+  for (const std::string& id : ids) {
+    report.evaluations += store.snapshot(id).get().evaluations;
+  }
+  report.notificationsPublished = store.bus().published() - publishedBefore;
+  report.notificationsDelivered = store.bus().delivered() - deliveredBefore;
+  report.notificationsDropped = store.bus().dropped() - droppedBefore;
+  report.wallSeconds =
+      std::chrono::duration<double>(stop - start).count();
+  if (report.wallSeconds > 0.0) {
+    report.opsPerSecond =
+        static_cast<double>(report.operations) / report.wallSeconds;
+    report.sessionsPerSecond =
+        static_cast<double>(report.completedSessions) / report.wallSeconds;
+  }
+  return report;
+}
+
+}  // namespace adpm::service

@@ -1,0 +1,223 @@
+#include "service/session.hpp"
+
+#include <cstdio>
+
+#include "dddl/parser.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace adpm::service {
+
+namespace {
+
+void appendDouble(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string snapshotText(const dpm::DesignProcessManager& dpm) {
+  const constraint::Network& net = dpm.network();
+  std::string out;
+  out.reserve(4096);
+
+  // Property bindings and the evaluation box ("network hull").
+  for (std::uint32_t i = 0; i < net.propertyCount(); ++i) {
+    const constraint::Property& p =
+        net.property(constraint::PropertyId{i});
+    out += "p ";
+    out += p.name;
+    out += ' ';
+    if (p.bound()) {
+      out += "bound ";
+      appendDouble(out, *p.value);
+    } else {
+      out += "unbound";
+    }
+    const interval::Interval hull = p.currentHull();
+    out += " hull [";
+    appendDouble(out, hull.lo());
+    out += ',';
+    appendDouble(out, hull.hi());
+    out += "]\n";
+  }
+
+  // Known constraint statuses and the violation set.
+  const std::vector<constraint::Status>& statuses = dpm.knownStatuses();
+  for (std::uint32_t i = 0; i < statuses.size(); ++i) {
+    out += "c ";
+    out += std::to_string(i);
+    out += ' ';
+    out += constraint::statusName(statuses[i]);
+    if (dpm.isStale(constraint::ConstraintId{i})) out += " stale";
+    out += '\n';
+  }
+  out += "violated";
+  for (const constraint::ConstraintId c : dpm.knownViolations()) {
+    out += ' ';
+    out += std::to_string(c.value);
+  }
+  out += '\n';
+
+  // λ=T: the full mined guidance.
+  if (const constraint::GuidanceReport* g = dpm.latestGuidance()) {
+    for (const constraint::PropertyGuidance& pg : g->properties) {
+      out += "g ";
+      out += std::to_string(pg.id.value);
+      out += " feasible ";
+      out += pg.feasible.str(17);
+      out += " rel ";
+      appendDouble(out, pg.relativeFeasibleSize);
+      out += " alpha ";
+      out += std::to_string(pg.alpha);
+      out += " beta ";
+      out += std::to_string(pg.beta);
+      out += " votes ";
+      out += std::to_string(pg.repairVotesUp);
+      out += '/';
+      out += std::to_string(pg.repairVotesDown);
+      out += " inc";
+      for (const constraint::ConstraintId c : pg.increasing) {
+        out += ' ';
+        out += std::to_string(c.value);
+      }
+      out += " dec";
+      for (const constraint::ConstraintId c : pg.decreasing) {
+        out += ' ';
+        out += std::to_string(c.value);
+      }
+      out += '\n';
+    }
+    out += "gviolated";
+    for (const constraint::ConstraintId c : g->violated) {
+      out += ' ';
+      out += std::to_string(c.value);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Session::Session(SessionConfig config, const dpm::ScenarioSpec& spec,
+                 std::unique_ptr<OperationLog> log)
+    : Session(std::move(config), spec, std::move(log), Options{}) {}
+
+Session::Session(SessionConfig config, const dpm::ScenarioSpec& spec,
+                 std::unique_ptr<OperationLog> log, Options options)
+    : config_(std::move(config)),
+      options_(options),
+      dpm_(std::make_unique<dpm::DesignProcessManager>(
+          dpm::DesignProcessManager::Options{.adpm = config_.adpm})),
+      log_(std::move(log)) {
+  dpm::instantiate(spec, *dpm_);
+  dpm_->bootstrap();
+}
+
+Session::~Session() {
+  if (!log_ || dpm_->stage() == 0 || lastMarkStage_ == dpm_->stage()) return;
+  try {
+    log_->appendMark(dpm_->stage(), snapshot().digest);
+  } catch (...) {
+    // Teardown must not throw; a failed seal just means the tail of the log
+    // ends on an op record, which recovery already tolerates.
+  }
+}
+
+dpm::DesignProcessManager::ExecResult Session::apply(dpm::Operation op) {
+  return applyImpl(std::move(op), /*journal=*/true);
+}
+
+dpm::DesignProcessManager::ExecResult Session::replayApply(dpm::Operation op) {
+  return applyImpl(std::move(op), /*journal=*/false);
+}
+
+dpm::DesignProcessManager::ExecResult Session::applyImpl(dpm::Operation op,
+                                                         bool journal) {
+  // Write-ahead: the operation is durable before its effects exist, so a
+  // crash mid-execution replays it instead of losing it.
+  if (journal && log_) log_->appendOperation(op);
+
+  dpm::DesignProcessManager::ExecResult result = dpm_->execute(std::move(op));
+  if (sink_) sink_(result.notifications);
+
+  if (journal && log_ && options_.markEvery > 0 &&
+      dpm_->stage() % options_.markEvery == 0) {
+    log_->appendMark(dpm_->stage(), snapshot().digest);
+    lastMarkStage_ = dpm_->stage();
+  }
+  return result;
+}
+
+SessionSnapshot Session::snapshot() const {
+  SessionSnapshot snap;
+  snap.id = config_.id;
+  snap.stage = dpm_->stage();
+  snap.complete = dpm_->designComplete();
+  snap.evaluations = dpm_->network().evaluationCount();
+  snap.violations = dpm_->knownViolationCount();
+  snap.text = snapshotText(*dpm_);
+  snap.digest = util::fnv1a64Hex(snap.text);
+  return snap;
+}
+
+Session::VerifyResult Session::verify() {
+  VerifyResult out;
+  constraint::Network& net = dpm_->network();
+  const std::size_t before = net.evaluationCount();
+  for (const constraint::ConstraintId cid : net.constraintIds()) {
+    if (!net.isActive(cid)) continue;
+    const constraint::Constraint& c = net.constraint(cid);
+    bool runnable = true;
+    for (const constraint::PropertyId a : c.arguments()) {
+      if (!net.property(a).bound()) {
+        runnable = false;
+        break;
+      }
+    }
+    if (!runnable) continue;
+    if (net.evaluate(cid) == constraint::Status::Violated) {
+      out.violated.push_back(cid);
+    }
+  }
+  out.evaluations = net.evaluationCount() - before;
+  return out;
+}
+
+std::unique_ptr<Session> recoverSession(const std::string& logPath,
+                                        Session::Options options) {
+  OperationLog::Replay replay = OperationLog::read(logPath);
+
+  const dpm::ScenarioSpec spec = dddl::parse(replay.config.scenarioDddl);
+  // Reopen in append mode *without* re-writing the header; the recovered
+  // session continues the same log.
+  auto session = std::make_unique<Session>(
+      replay.config, spec, std::make_unique<OperationLog>(logPath), options);
+
+  std::size_t nextMark = 0;
+  std::size_t stage = 0;
+  for (dpm::Operation& op : replay.operations) {
+    session->replayApply(std::move(op));
+    ++stage;
+    while (nextMark < replay.marks.size() &&
+           replay.marks[nextMark].stage == stage) {
+      const std::string digest = session->snapshot().digest;
+      if (digest != replay.marks[nextMark].digest) {
+        throw adpm::Error(
+            "operation log '" + logPath + "' diverged at stage " +
+            std::to_string(stage) + ": snapshot digest " + digest +
+            " != logged " + replay.marks[nextMark].digest);
+      }
+      ++nextMark;
+    }
+  }
+  // Remember the seal so a recover → destroy cycle does not keep appending
+  // duplicate marks for the same final stage.
+  if (!replay.marks.empty() && replay.marks.back().stage == stage) {
+    session->lastMarkStage_ = stage;
+  }
+  return session;
+}
+
+}  // namespace adpm::service

@@ -1,0 +1,130 @@
+// One hosted design session: a DesignProcessManager plus its instantiated
+// scenario, journaled through a durable operation log.
+//
+// A Session is pure state — it performs no locking and owns no thread.  The
+// SessionStore serializes all access through the session's strand
+// (util/executor.hpp); every method here must be called with that exclusive
+// access (on the strand, or single-threaded before the session is shared).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dpm/manager.hpp"
+#include "dpm/scenario.hpp"
+#include "service/wal.hpp"
+
+namespace adpm::service {
+
+/// Canonical state digest used by the deterministic-replay guarantee: two
+/// sessions with equal snapshot text are in bit-identical observable states.
+struct SessionSnapshot {
+  std::string id;
+  /// Operations applied so far.
+  std::size_t stage = 0;
+  bool complete = false;
+  std::size_t evaluations = 0;
+  std::size_t violations = 0;
+  /// Canonical rendering of: per-property bindings and current hull, known
+  /// constraint statuses, violation set, and (λ=T) the full GuidanceReport
+  /// (feasible subspaces, α/β, monotone lists, repair votes).  All doubles
+  /// are %.17g, so equality here is bit-equality of the underlying state.
+  std::string text;
+  /// fnv1a-64 of `text`, as 16 hex digits — what WAL marks store.
+  std::string digest;
+};
+
+class Session {
+ public:
+  struct Options {
+    /// Append a snapshot-digest mark to the log every N operations
+    /// (0 = only on explicit snapshot() calls with a log attached... never).
+    std::size_t markEvery = 32;
+  };
+
+  /// Builds the session from its config: parses nothing — the caller
+  /// supplies the spec matching config.scenarioDddl.  When `log` is
+  /// non-null the session owns it and journals every applied operation.
+  /// (Two overloads, not `Options options = {}`: GCC rejects brace-init
+  /// defaults of a nested aggregate inside the incomplete enclosing class.)
+  Session(SessionConfig config, const dpm::ScenarioSpec& spec,
+          std::unique_ptr<OperationLog> log);
+  Session(SessionConfig config, const dpm::ScenarioSpec& spec,
+          std::unique_ptr<OperationLog> log, Options options);
+
+  /// Seals the log: a journaled session appends one final snapshot mark on
+  /// teardown (unless the current stage already carries one), so every WAL
+  /// ends with a digest and recovery always validates the *final* state —
+  /// short sessions would otherwise never reach a markEvery boundary.
+  ~Session();
+
+  const SessionConfig& config() const noexcept { return config_; }
+  const std::string& id() const noexcept { return config_.id; }
+
+  dpm::DesignProcessManager& manager() noexcept { return *dpm_; }
+  const dpm::DesignProcessManager& manager() const noexcept { return *dpm_; }
+
+  /// Sink for the NM fan-out of each applied operation (the store wires
+  /// this to the NotificationBus).
+  using NotificationSink =
+      std::function<void(const std::vector<dpm::Notification>&)>;
+  void setNotificationSink(NotificationSink sink) { sink_ = std::move(sink); }
+
+  /// Applies one operation: journals it (WAL first — the log is
+  /// write-ahead), executes δ, publishes the notification fan-out, and
+  /// appends a periodic snapshot mark.
+  dpm::DesignProcessManager::ExecResult apply(dpm::Operation op);
+
+  /// Re-applies a recovered operation: identical to apply() except the
+  /// operation is NOT re-journaled (it is already in the log).
+  dpm::DesignProcessManager::ExecResult replayApply(dpm::Operation op);
+
+  std::size_t stage() const noexcept { return dpm_->stage(); }
+  bool complete() const { return dpm_->designComplete(); }
+
+  SessionSnapshot snapshot() const;
+
+  /// Service-level audit: force-evaluates every active constraint whose
+  /// arguments are bound (a batch verification-tool run, charged to the
+  /// network counter like any other tool run) and returns the violated ids.
+  struct VerifyResult {
+    std::vector<constraint::ConstraintId> violated;
+    std::size_t evaluations = 0;
+  };
+  VerifyResult verify();
+
+  const OperationLog* log() const noexcept { return log_.get(); }
+
+ private:
+  friend std::unique_ptr<Session> recoverSession(const std::string& logPath,
+                                                 Options options);
+
+  dpm::DesignProcessManager::ExecResult applyImpl(dpm::Operation op,
+                                                  bool journal);
+
+  SessionConfig config_;
+  Options options_;
+  std::unique_ptr<dpm::DesignProcessManager> dpm_;
+  std::unique_ptr<OperationLog> log_;
+  NotificationSink sink_;
+  /// Stage of the most recent mark in the log (0 = none yet); suppresses
+  /// duplicate seal marks across recover/teardown cycles.
+  std::size_t lastMarkStage_ = 0;
+};
+
+/// The canonical snapshot text for any manager (exposed for tests and the
+/// replay validator).
+std::string snapshotText(const dpm::DesignProcessManager& dpm);
+
+/// Rebuilds a session from its operation log: parses the embedded DDDL,
+/// replays every operation, and re-derives + checks every snapshot mark.
+/// The returned session keeps appending to the same log file.  Throws
+/// adpm::Error on divergence (digest mismatch) or malformed logs.
+std::unique_ptr<Session> recoverSession(const std::string& logPath,
+                                        Session::Options options = {});
+
+}  // namespace adpm::service

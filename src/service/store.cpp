@@ -1,0 +1,189 @@
+#include "service/store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "dddl/writer.hpp"
+#include "util/error.hpp"
+
+namespace adpm::service {
+
+namespace {
+
+bool safeId(const std::string& id) {
+  if (id.empty() || id.size() > 128) return false;
+  return std::all_of(id.begin(), id.end(), [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+  });
+}
+
+}  // namespace
+
+SessionStore::SessionStore() : SessionStore(Options{}) {}
+
+SessionStore::SessionStore(Options options)
+    : options_(std::move(options)),
+      bus_(options_.bus),
+      executor_(options_.executor) {
+  if (!options_.walDir.empty()) {
+    std::filesystem::create_directories(options_.walDir);
+  }
+}
+
+SessionStore::~SessionStore() {
+  // Unblock any producer parked on a Block-policy queue before draining,
+  // or drain() could wait forever on a strand task stuck in push().
+  bus_.closeAll();
+  executor_.drain();
+}
+
+std::string SessionStore::walPathOf(const std::string& id) const {
+  return options_.walDir + "/" + id + ".wal";
+}
+
+void SessionStore::open(const std::string& id, const dpm::ScenarioSpec& spec,
+                        bool adpm) {
+  if (!safeId(id)) {
+    throw adpm::InvalidArgumentError("session id '" + id +
+                                     "' is not filesystem-safe");
+  }
+  if (has(id)) {  // check before the WAL header hits the disk
+    throw adpm::InvalidArgumentError("session '" + id + "' already open");
+  }
+  SessionConfig config;
+  config.id = id;
+  config.adpm = adpm;
+  config.scenarioName = spec.name;
+  // The log must be self-contained, so the scenario rides along as DDDL —
+  // also pins the exact spec replay will instantiate.
+  config.scenarioDddl = dddl::write(spec);
+
+  std::unique_ptr<OperationLog> log;
+  if (!options_.walDir.empty()) {
+    log = std::make_unique<OperationLog>(walPathOf(id));
+    log->appendOpen(config);
+  }
+  adopt(id, std::make_unique<Session>(std::move(config), spec, std::move(log),
+                                      options_.session));
+}
+
+std::vector<std::string> SessionStore::recover() {
+  std::vector<std::string> recovered;
+  if (options_.walDir.empty()) return recovered;
+
+  std::vector<std::filesystem::path> logs;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.walDir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".wal") {
+      logs.push_back(entry.path());
+    }
+  }
+  std::sort(logs.begin(), logs.end());  // deterministic recovery order
+
+  for (const std::filesystem::path& path : logs) {
+    std::unique_ptr<Session> session =
+        recoverSession(path.string(), options_.session);
+    std::string id = session->id();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (sessions_.contains(id)) continue;  // already live, skip the log
+    }
+    adopt(id, std::move(session));
+    recovered.push_back(std::move(id));
+  }
+  return recovered;
+}
+
+void SessionStore::adopt(const std::string& id,
+                         std::unique_ptr<Session> session) {
+  auto entry = std::make_shared<Entry>();
+  entry->session = std::move(session);
+  entry->strand = executor_.makeStrand();
+  entry->session->setNotificationSink(
+      [this, id](const std::vector<dpm::Notification>& batch) {
+        bus_.publish(id, batch);
+      });
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = sessions_.emplace(id, std::move(entry));
+  if (!inserted) {
+    throw adpm::InvalidArgumentError("session '" + id + "' already open");
+  }
+}
+
+void SessionStore::close(const std::string& id) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    entry = std::move(it->second);
+    sessions_.erase(it);
+  }
+  bus_.closeSession(id);
+  // Queued commands still hold the entry via their captures; the session
+  // object dies with the last of them.
+}
+
+std::shared_ptr<SessionStore::Entry> SessionStore::entryOf(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw adpm::InvalidArgumentError("unknown session '" + id + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> SessionStore::ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, entry] : sessions_) out.push_back(id);
+  return out;
+}
+
+std::size_t SessionStore::sessionCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+bool SessionStore::has(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.contains(id);
+}
+
+std::future<dpm::DesignProcessManager::ExecResult>
+SessionStore::applyOperation(const std::string& id, dpm::Operation op) {
+  return withSession(id, [op = std::move(op)](Session& session) mutable {
+    return session.apply(std::move(op));
+  });
+}
+
+std::future<std::optional<constraint::GuidanceReport>>
+SessionStore::queryGuidance(const std::string& id) {
+  return withSession(
+      id, [](Session& session) -> std::optional<constraint::GuidanceReport> {
+        const constraint::GuidanceReport* g =
+            session.manager().latestGuidance();
+        if (g == nullptr) return std::nullopt;
+        return *g;
+      });
+}
+
+std::future<Session::VerifyResult> SessionStore::verify(
+    const std::string& id) {
+  return withSession(id, [](Session& session) { return session.verify(); });
+}
+
+std::future<SessionSnapshot> SessionStore::snapshot(const std::string& id) {
+  return withSession(id, [](Session& session) { return session.snapshot(); });
+}
+
+std::shared_ptr<NotificationBus::Queue> SessionStore::subscribe(
+    const std::string& id, const std::string& designer) {
+  entryOf(id);  // validate the session exists
+  return bus_.subscribe(id, designer);
+}
+
+}  // namespace adpm::service

@@ -1,0 +1,134 @@
+// The concurrent design-session service: N live sessions on one fixed
+// thread pool.
+//
+// Each session gets a strand (util/executor.hpp), so its operations
+// serialize in submission order while distinct sessions propagate in
+// parallel — the paper's collaborative setting (many designers, many
+// concurrent sessions) hosted behind a typed command API:
+//
+//   ApplyOperation  → applyOperation(id, op)   future<ExecResult>
+//   QueryGuidance   → queryGuidance(id)        future<optional<Guidance>>
+//   Verify          → verify(id)               future<VerifyResult>
+//   Snapshot        → snapshot(id)             future<SessionSnapshot>
+//   Subscribe       → subscribe(id, designer)  bounded notification queue
+//
+// With a WAL directory configured every session is durable: open() writes a
+// self-contained log header (scenario embedded as DDDL), every applied
+// operation is journaled write-ahead, and recover() rebuilds all sessions
+// found in the directory after a crash, verifying snapshot digests along
+// the way.
+//
+// Determinism: Options.executor.deterministic = true runs every command
+// inline on the calling thread (single-threaded, seeded by the caller's
+// submission order) — the mode the bit-stable replay tests run under.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "service/bus.hpp"
+#include "service/session.hpp"
+#include "util/executor.hpp"
+
+namespace adpm::service {
+
+class SessionStore {
+ public:
+  struct Options {
+    util::Executor::Options executor{};
+    NotificationBus::Options bus{};
+    Session::Options session{};
+    /// Directory for per-session operation logs ("<id>.wal"); empty =
+    /// volatile sessions (no journal, no recovery).
+    std::string walDir;
+  };
+
+  SessionStore();
+  explicit SessionStore(Options options);
+  ~SessionStore();
+
+  SessionStore(const SessionStore&) = delete;
+  SessionStore& operator=(const SessionStore&) = delete;
+
+  // -- lifecycle -------------------------------------------------------------
+
+  /// Creates a session from a scenario spec.  The id must be unique and
+  /// filesystem-safe ([A-Za-z0-9._-]).  Throws on duplicates.
+  void open(const std::string& id, const dpm::ScenarioSpec& spec, bool adpm);
+
+  /// Rebuilds every "*.wal" session found in walDir (replaying operation
+  /// logs, checking snapshot digests).  Returns the recovered ids.
+  std::vector<std::string> recover();
+
+  /// Closes a session: waits for its queued commands, closes its
+  /// notification queues, and forgets it.  The WAL file stays on disk.
+  void close(const std::string& id);
+
+  std::vector<std::string> ids() const;
+  std::size_t sessionCount() const;
+  bool has(const std::string& id) const;
+
+  // -- typed command API (each command runs on the session's strand) ---------
+
+  std::future<dpm::DesignProcessManager::ExecResult> applyOperation(
+      const std::string& id, dpm::Operation op);
+
+  /// λ=F sessions resolve to nullopt (no mined guidance in that flow).
+  std::future<std::optional<constraint::GuidanceReport>> queryGuidance(
+      const std::string& id);
+
+  std::future<Session::VerifyResult> verify(const std::string& id);
+
+  std::future<SessionSnapshot> snapshot(const std::string& id);
+
+  std::shared_ptr<NotificationBus::Queue> subscribe(
+      const std::string& id, const std::string& designer);
+
+  /// Escape hatch for drivers (load generator, CLI): runs `fn` with
+  /// exclusive access to the session on its strand.
+  template <typename F>
+  auto withSession(const std::string& id, F fn)
+      -> std::future<std::invoke_result_t<F&, Session&>> {
+    using R = std::invoke_result_t<F&, Session&>;
+    std::shared_ptr<Entry> entry = entryOf(id);
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [entry, fn = std::move(fn)]() mutable { return fn(*entry->session); });
+    std::future<R> future = task->get_future();
+    entry->strand->post([task] { (*task)(); });
+    return future;
+  }
+
+  /// Blocks until every queued command (across all sessions) has run.
+  void drain() { executor_.drain(); }
+
+  util::Executor& executor() noexcept { return executor_; }
+  NotificationBus& bus() noexcept { return bus_; }
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<Session> session;
+    std::shared_ptr<util::Executor::Strand> strand;
+  };
+
+  std::shared_ptr<Entry> entryOf(const std::string& id) const;
+  void adopt(const std::string& id, std::unique_ptr<Session> session);
+  std::string walPathOf(const std::string& id) const;
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Entry>> sessions_;
+  NotificationBus bus_;
+  /// Last member: its destructor drains/joins while sessions and bus are
+  /// still alive for in-flight strand tasks.
+  util::Executor executor_;
+};
+
+}  // namespace adpm::service

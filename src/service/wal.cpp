@@ -1,0 +1,114 @@
+#include "service/wal.hpp"
+
+#include <fstream>
+
+#include "dpm/operation_io.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace adpm::service {
+
+OperationLog::OperationLog(std::string path)
+    : path_(std::move(path)), out_(path_, std::ios::app) {
+  if (!out_) {
+    throw adpm::Error("cannot open operation log '" + path_ + "'");
+  }
+}
+
+void OperationLog::appendLine(const std::string& line) {
+  out_ << line << '\n';
+  out_.flush();  // line-granular durability: a crash loses at most one record
+  if (!out_) {
+    throw adpm::Error("short write to operation log '" + path_ + "'");
+  }
+  ++written_;
+}
+
+void OperationLog::appendOpen(const SessionConfig& config) {
+  util::json::Value v{util::json::Object{}};
+  v.set("t", "open");
+  v.set("v", kVersion);
+  v.set("session", config.id);
+  v.set("adpm", config.adpm);
+  v.set("scenario", config.scenarioName);
+  v.set("dddl", config.scenarioDddl);
+  appendLine(util::json::serialize(v));
+}
+
+void OperationLog::appendOperation(const dpm::Operation& op) {
+  util::json::Value v{util::json::Object{}};
+  v.set("t", "op");
+  v.set("op", dpm::operationToJson(op));
+  appendLine(util::json::serialize(v));
+}
+
+void OperationLog::appendMark(std::size_t stage, const std::string& digest) {
+  util::json::Value v{util::json::Object{}};
+  v.set("t", "mark");
+  v.set("stage", stage);
+  v.set("digest", digest);
+  appendLine(util::json::serialize(v));
+}
+
+OperationLog::Replay OperationLog::read(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw adpm::Error("cannot read operation log '" + path + "'");
+  }
+
+  Replay replay;
+  bool sawOpen = false;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    util::json::Value v;
+    try {
+      v = util::json::parse(line);
+    } catch (const adpm::Error& e) {
+      throw adpm::Error("operation log '" + path + "' line " +
+                        std::to_string(lineNo) + ": " + e.what());
+    }
+    const std::string& type = v.at("t").asString();
+    if (type == "open") {
+      if (sawOpen) {
+        throw adpm::Error("operation log '" + path + "' has two headers");
+      }
+      const int version = static_cast<int>(v.at("v").asNumber());
+      if (version != kVersion) {
+        throw adpm::Error("operation log '" + path +
+                          "' has unsupported version " +
+                          std::to_string(version));
+      }
+      replay.config.id = v.at("session").asString();
+      replay.config.adpm = v.at("adpm").asBool();
+      replay.config.scenarioName = v.at("scenario").asString();
+      replay.config.scenarioDddl = v.at("dddl").asString();
+      sawOpen = true;
+      continue;
+    }
+    if (!sawOpen) {
+      throw adpm::Error("operation log '" + path +
+                        "' has records before the header");
+    }
+    if (type == "op") {
+      replay.operations.push_back(dpm::operationFromJson(v.at("op")));
+    } else if (type == "mark") {
+      Mark mark;
+      mark.stage = static_cast<std::size_t>(v.at("stage").asNumber());
+      mark.digest = v.at("digest").asString();
+      replay.marks.push_back(std::move(mark));
+    } else {
+      throw adpm::Error("operation log '" + path + "' line " +
+                        std::to_string(lineNo) + ": unknown record type '" +
+                        type + "'");
+    }
+  }
+  if (!sawOpen) {
+    throw adpm::Error("operation log '" + path + "' has no header");
+  }
+  return replay;
+}
+
+}  // namespace adpm::service

@@ -1,0 +1,87 @@
+// Durable per-session operation log (JSONL write-ahead log).
+//
+// Every hosted design session appends its applied operations to an
+// append-only JSONL file, so that (a) a killed service recovers every live
+// session by replaying its log, and (b) any run is deterministically
+// reproducible after the fact: the DPM transition function δ is
+// deterministic, so state_n is a pure function of (scenario, operation
+// prefix).  The log is self-contained — the header embeds the scenario as
+// DDDL text (the repo's existing scenario interchange format), not a name
+// that might resolve differently tomorrow.
+//
+// Record grammar, one canonical JSON object per line (util/json.hpp):
+//   {"t":"open","v":1,"session":ID,"adpm":BOOL,"scenario":NAME,"dddl":TEXT}
+//   {"t":"op","op":{...}}                      (dpm/operation_io.hpp form)
+//   {"t":"mark","stage":N,"digest":HEX}        (periodic snapshot digest)
+// `mark` records carry the fnv1a-64 digest of the session's canonical
+// snapshot text at stage N; replay re-derives the digest at each mark and
+// fails loudly on divergence instead of silently resurrecting a corrupt
+// session.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dpm/operation.hpp"
+
+namespace adpm::service {
+
+/// Identity + flow of one hosted session; everything replay needs.
+struct SessionConfig {
+  std::string id;
+  /// The paper's λ: true = ADPM flow, false = conventional.
+  bool adpm = true;
+  /// Display name of the scenario (e.g. "sensing-system").
+  std::string scenarioName;
+  /// Authoritative scenario source: DDDL text parsed at open/recover time.
+  std::string scenarioDddl;
+};
+
+class OperationLog {
+ public:
+  static constexpr int kVersion = 1;
+
+  /// Opens `path` for appending (creating it if absent).  Throws
+  /// adpm::Error when the file cannot be opened.
+  explicit OperationLog(std::string path);
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// Appends the session header.  Call exactly once, before any operation,
+  /// on a fresh log; recovered sessions keep appending to the old file and
+  /// must not re-write the header.
+  void appendOpen(const SessionConfig& config);
+  void appendOperation(const dpm::Operation& op);
+  void appendMark(std::size_t stage, const std::string& digest);
+
+  /// Records appended since construction (not counting recovered lines).
+  std::size_t recordsWritten() const noexcept { return written_; }
+
+  struct Mark {
+    std::size_t stage = 0;
+    std::string digest;
+  };
+
+  /// Parsed image of a log file.
+  struct Replay {
+    SessionConfig config;
+    std::vector<dpm::Operation> operations;
+    /// Marks in file order; mark.stage == number of operations applied when
+    /// the digest was taken.
+    std::vector<Mark> marks;
+  };
+
+  /// Reads and validates a log file (header first, kVersion, well-formed
+  /// records).  Throws adpm::Error on structural problems.
+  static Replay read(const std::string& path);
+
+ private:
+  void appendLine(const std::string& line);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t written_ = 0;
+};
+
+}  // namespace adpm::service

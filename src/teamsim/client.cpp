@@ -1,0 +1,37 @@
+#include "teamsim/client.hpp"
+
+#include "util/rng.hpp"
+
+namespace adpm::teamsim {
+
+TeamClient::TeamClient(const dpm::DesignProcessManager& dpm,
+                       const SimulationOptions& options) {
+  // Same per-designer stream derivation as SimulationEngine's constructor.
+  std::uint64_t seedState = options.seed;
+  for (const std::string& name : dpm.designers()) {
+    designers_.emplace_back(name, options, util::splitmix64(seedState));
+  }
+}
+
+std::optional<dpm::Operation> TeamClient::propose(
+    dpm::DesignProcessManager& dpm) {
+  if (designers_.empty()) return std::nullopt;
+  for (std::size_t k = 0; k < designers_.size(); ++k) {
+    const std::size_t di = (nextDesigner_ + k) % designers_.size();
+    std::optional<dpm::Operation> op = designers_[di].nextOperation(dpm);
+    if (!op) continue;
+    lastProposer_ = di;
+    nextDesigner_ = (di + 1) % designers_.size();
+    ++proposed_;
+    return op;
+  }
+  return std::nullopt;
+}
+
+void TeamClient::observe(dpm::DesignProcessManager& dpm,
+                         const dpm::OperationRecord& record) {
+  if (designers_.empty()) return;
+  designers_[lastProposer_].observe(dpm, record);
+}
+
+}  // namespace adpm::teamsim

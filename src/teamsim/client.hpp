@@ -1,0 +1,56 @@
+// Session-client adapter: mounts TeamSim's SimulatedDesigners as stepwise
+// clients of an externally-hosted design session.
+//
+// SimulationEngine owns its DPM and drives the whole team to completion in
+// one loop; a *hosted* session inverts that control — the service schedules
+// one operation at a time on the session's strand, interleaved with other
+// sessions.  TeamClient packages the team (one SimulatedDesigner per
+// designer named in the manager, with the same per-designer seed derivation
+// as the engine) behind a single `stepOnce` call that the host invokes
+// whenever the session's strand has a slot: the next designer in round-robin
+// order proposes an operation (f_o over the current state) and the client
+// returns it for the host to execute, then feeds the record back through
+// `observe`.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "dpm/manager.hpp"
+#include "teamsim/designer.hpp"
+#include "teamsim/options.hpp"
+
+namespace adpm::teamsim {
+
+class TeamClient {
+ public:
+  /// Builds one client per designer named in `dpm` (same order and seed
+  /// stream as SimulationEngine, so a hosted single-session run proposes
+  /// the same operations as the in-process engine would).
+  TeamClient(const dpm::DesignProcessManager& dpm,
+             const SimulationOptions& options);
+
+  /// Lets the next idle-or-busy designer (round-robin) propose one
+  /// operation against the session state.  Returns nullopt when every
+  /// designer is idle (design complete or deadlocked).  Must be called
+  /// with exclusive access to the manager (the session's strand).
+  std::optional<dpm::Operation> propose(dpm::DesignProcessManager& dpm);
+
+  /// Feeds an executed operation's record back to its proposing designer
+  /// (adaptive repair state, failure history).  Call after the host applied
+  /// the operation returned by propose().
+  void observe(dpm::DesignProcessManager& dpm,
+               const dpm::OperationRecord& record);
+
+  std::size_t designerCount() const noexcept { return designers_.size(); }
+  std::size_t operationsProposed() const noexcept { return proposed_; }
+
+ private:
+  std::vector<SimulatedDesigner> designers_;
+  std::size_t nextDesigner_ = 0;
+  std::size_t lastProposer_ = 0;
+  std::size_t proposed_ = 0;
+};
+
+}  // namespace adpm::teamsim

@@ -30,7 +30,13 @@ CellStats runSeedSweepParallel(const dpm::ScenarioSpec& spec,
                                const SimulationOptions& base,
                                std::size_t seeds, std::uint64_t firstSeed,
                                const std::string& label, unsigned threads) {
-  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    // hardware_concurrency() may legitimately return 0 ("not computable",
+    // e.g. restrictive cgroups); fall back to one worker instead of relying
+    // on the serial branch below staying reachable for that value.
+    if (threads == 0) threads = 1;
+  }
   if (threads <= 1 || seeds < 2) {
     return runSeedSweep(spec, base, seeds, firstSeed, label);
   }

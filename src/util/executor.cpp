@@ -1,0 +1,172 @@
+#include "util/executor.hpp"
+
+#include <utility>
+
+namespace adpm::util {
+
+Executor::Executor() : Executor(Options{}) {}
+
+Executor::Executor(Options options) : options_(options) {
+  if (options_.deterministic) {
+    workerCount_ = 0;
+    return;
+  }
+  unsigned threads = options_.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;  // hardware_concurrency may be unknown
+  }
+  workerCount_ = threads;
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+Executor::~Executor() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void Executor::post(std::function<void()> task) {
+  if (options_.deterministic) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+    // The pool queue itself carries no completion bookkeeping (strand
+    // dispatches ride it too, uncounted), so the posted task retires itself.
+    queue_.push_back([this, task = std::move(task)]() mutable {
+      task();
+      finishOne();
+    });
+  }
+  wake_.notify_one();
+}
+
+void Executor::drain() {
+  if (options_.deterministic) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void Executor::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void Executor::finishOne() {
+  std::size_t left;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    left = --pending_;
+  }
+  if (left == 0) idle_.notify_all();
+}
+
+// -- Strand -------------------------------------------------------------------
+
+std::shared_ptr<Executor::Strand> Executor::makeStrand() {
+  return std::shared_ptr<Strand>(new Strand(*this));
+}
+
+void Executor::Strand::post(std::function<void()> task) {
+  if (executor_.options_.deterministic) {
+    bool drainHere = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(task));
+      if (!active_) {
+        active_ = true;
+        drainHere = true;  // nested posts land in the outer drain loop
+      }
+    }
+    if (drainHere) drainInline();
+    return;
+  }
+
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    if (!active_) {
+      active_ = true;
+      schedule = true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(executor_.mutex_);
+    ++executor_.pending_;
+    if (schedule) {
+      // Internal dispatch: runs one strand task per pool slot; not counted
+      // as a task itself (pending_ tracks user tasks only).
+      executor_.queue_.push_back([this] { runOne(); });
+    }
+  }
+  executor_.wake_.notify_one();
+}
+
+void Executor::Strand::runOne() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+
+  // Reschedule (or go idle) *before* retiring the task from the executor's
+  // pending count: once pending_ hits 0 a drain()ing owner may destroy this
+  // strand, so no strand state may be touched after finishOne().
+  bool reschedule = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) {
+      active_ = false;
+    } else {
+      reschedule = true;
+    }
+  }
+  if (reschedule) {
+    {
+      std::lock_guard<std::mutex> lock(executor_.mutex_);
+      executor_.queue_.push_back([this] { runOne(); });
+    }
+    executor_.wake_.notify_one();
+  }
+  executor_.finishOne();
+}
+
+void Executor::Strand::drainInline() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (queue_.empty()) {
+        active_ = false;
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace adpm::util

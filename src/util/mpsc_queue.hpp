@@ -1,0 +1,127 @@
+// Bounded multi-producer single-consumer queue with an explicit overflow
+// policy.
+//
+// The notification bus delivers NotificationManager fan-out to per-designer
+// subscribers through these queues.  Producers are the session strands (any
+// pool thread), the consumer is whoever holds the subscription.  Capacity is
+// bounded; what happens on overflow is a policy the subscriber chooses:
+//
+//  * Block      — the producer waits for space (backpressure: a session's
+//                 strand stalls until the subscriber catches up);
+//  * DropOldest — the oldest queued item is discarded to make room and the
+//                 drop is counted (a live dashboard prefers fresh events
+//                 over complete history).
+//
+// A mutex + condvar implementation: notification batches are tiny compared
+// to the DCM work producing them, so contention is negligible, and the lock
+// gives TSan-clean happens-before edges for free.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace adpm::util {
+
+enum class OverflowPolicy : std::uint8_t { Block, DropOldest };
+
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  explicit BoundedMpscQueue(std::size_t capacity,
+                            OverflowPolicy policy = OverflowPolicy::DropOldest)
+      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  /// Enqueues one item.  Returns false only when the queue is closed (the
+  /// item is discarded, not counted as dropped).  Under Block this waits for
+  /// space; under DropOldest it evicts the front item and counts the drop.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (policy_ == OverflowPolicy::Block) {
+      space_.wait(lock,
+                  [this] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+    } else {
+      if (closed_) return false;
+      if (items_.size() >= capacity_) {
+        items_.pop_front();
+        ++dropped_;
+      }
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and empty.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    space_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> tryPop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    space_.notify_one();
+    return item;
+  }
+
+  /// Closing wakes blocked producers and the consumer; queued items remain
+  /// poppable, further pushes are refused.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+    space_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  /// Items evicted by DropOldest since construction.
+  std::size_t dropped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  OverflowPolicy policy() const noexcept { return policy_; }
+
+ private:
+  const std::size_t capacity_;
+  const OverflowPolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;  // consumer waits: item available / closed
+  std::condition_variable space_;  // producers wait (Block): room available
+  std::deque<T> items_;
+  std::size_t dropped_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace adpm::util

@@ -1,6 +1,7 @@
 // Small string helpers shared across modules.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -22,5 +23,12 @@ bool startsWith(std::string_view s, std::string_view prefix) noexcept;
 
 /// Lower-cases ASCII letters.
 std::string toLower(std::string_view s);
+
+/// FNV-1a 64-bit hash; the service layer digests session snapshots with it
+/// (stable across platforms, no dependency on std::hash).
+std::uint64_t fnv1a64(std::string_view s) noexcept;
+
+/// fnv1a64 rendered as 16 lowercase hex digits.
+std::string fnv1a64Hex(std::string_view s);
 
 }  // namespace adpm::util

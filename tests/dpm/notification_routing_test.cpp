@@ -1,0 +1,155 @@
+// Routing edge cases of the Notification Manager: relevance filtering (only
+// designers owning an involved property hear about an event) and the
+// unresolvable-owner drop path (events on properties nobody owns are
+// discarded, never delivered to the empty designer).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dpm/manager.hpp"
+#include "dpm/notification.hpp"
+#include "dpm/scenario.hpp"
+
+namespace adpm::dpm {
+namespace {
+
+using constraint::ConstraintId;
+using constraint::GuidanceReport;
+using constraint::PropertyGuidance;
+using constraint::PropertyId;
+using constraint::Relation;
+using constraint::Status;
+using interval::Domain;
+
+ScenarioSpec twoTeamScenario() {
+  ScenarioSpec s;
+  s.name = "two-team";
+  s.addObject("sys");
+  s.addObject("a", "sys");
+  s.addObject("b", "sys");
+  const auto cap = s.addProperty("cap", "sys", Domain::continuous(10, 100));
+  const auto x = s.addProperty("x", "a", Domain::continuous(0, 100));
+  const auto y = s.addProperty("y", "b", Domain::continuous(0, 100));
+  s.addConstraint(
+      {"budget", s.pvar(x) + s.pvar(y), Relation::Le, s.pvar(cap), {}});
+  s.addConstraint(
+      {"x-floor", s.pvar(x), Relation::Ge, expr::Expr::constant(5.0), {}});
+  s.addProblem({"Top", "sys", "lead", {}, {cap}, {0}, std::nullopt, {}, true});
+  s.addProblem(
+      {"A", "a", "ana", {cap}, {x}, {1}, std::optional<std::size_t>{0}, {}, true});
+  s.addProblem(
+      {"B", "b", "ben", {cap}, {y}, {}, std::optional<std::size_t>{0}, {}, true});
+  s.require(cap, 50.0);
+  return s;
+}
+
+class NotificationRouting : public ::testing::Test {
+ protected:
+  NotificationRouting() : dpm_(DesignProcessManager::Options{.adpm = true}) {
+    instantiate(twoTeamScenario(), dpm_);
+  }
+  DesignProcessManager dpm_;
+  NotificationManager nm_;
+};
+
+TEST_F(NotificationRouting, EmptyAudienceEntriesAreDropped) {
+  const std::vector<Status> before{Status::Consistent, Status::Consistent};
+  const std::vector<Status> after{Status::Violated, Status::Violated};
+
+  const auto out = nm_.diff(
+      1, dpm_.network(), before, after, nullptr, nullptr,
+      [](const constraint::Constraint& c) -> std::vector<std::string> {
+        // budget: nobody resolvable; x-floor: one resolvable + one empty.
+        if (c.name() == "budget") return {};
+        return {"ana", ""};
+      },
+      [](PropertyId) { return std::string(); });
+
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].designer, "ana");
+  EXPECT_EQ(out[0].kind, NotificationKind::ViolationDetected);
+  ASSERT_TRUE(out[0].constraintId.has_value());
+  EXPECT_EQ(out[0].constraintId->value, 1u);
+  for (const Notification& n : out) EXPECT_FALSE(n.designer.empty());
+}
+
+TEST_F(NotificationRouting, SubspaceReductionWithoutOwnerIsDropped) {
+  GuidanceReport gBefore;
+  GuidanceReport gAfter;
+  PropertyGuidance pb;
+  pb.id = PropertyId{1};  // x
+  pb.feasible = Domain::continuous(0, 100);
+  pb.relativeFeasibleSize = 1.0;
+  PropertyGuidance pa = pb;
+  pa.feasible = Domain::continuous(0, 10);
+  pa.relativeFeasibleSize = 0.1;  // well past the reduction threshold
+  gBefore.properties.push_back(pb);
+  gAfter.properties.push_back(pa);
+
+  const std::vector<Status> same{Status::Consistent, Status::Consistent};
+  const auto audience = [](const constraint::Constraint&) {
+    return std::vector<std::string>{};
+  };
+
+  // Owner unresolvable -> the reduction event vanishes, no empty recipient.
+  const auto dropped =
+      nm_.diff(1, dpm_.network(), same, same, &gBefore, &gAfter, audience,
+               [](PropertyId) { return std::string(); });
+  EXPECT_TRUE(dropped.empty());
+
+  // Identical diff with a resolvable owner delivers exactly one event.
+  const auto delivered =
+      nm_.diff(1, dpm_.network(), same, same, &gBefore, &gAfter, audience,
+               [](PropertyId) { return std::string("ana"); });
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].kind, NotificationKind::FeasibleSubspaceReduced);
+  EXPECT_EQ(delivered[0].designer, "ana");
+  ASSERT_TRUE(delivered[0].propertyId.has_value());
+  EXPECT_EQ(delivered[0].propertyId->value, 1u);
+}
+
+TEST_F(NotificationRouting, SmallReductionStaysBelowThreshold) {
+  GuidanceReport gBefore;
+  GuidanceReport gAfter;
+  PropertyGuidance pb;
+  pb.id = PropertyId{1};
+  pb.feasible = Domain::continuous(0, 100);
+  pb.relativeFeasibleSize = 1.0;
+  PropertyGuidance pa = pb;
+  pa.relativeFeasibleSize = 0.99;  // above the default 0.95 threshold
+  gBefore.properties.push_back(pb);
+  gAfter.properties.push_back(pa);
+
+  const std::vector<Status> same{Status::Consistent, Status::Consistent};
+  const auto out = nm_.diff(
+      1, dpm_.network(), same, same, &gBefore, &gAfter,
+      [](const constraint::Constraint&) { return std::vector<std::string>{}; },
+      [](PropertyId) { return std::string("ana"); });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(NotificationRouting, RelevanceFilteringExcludesUninvolvedDesigner) {
+  // ana binds x below the x-floor: the violation involves only x, so only
+  // ana (its owner) is notified — ben and lead own no involved property.
+  Operation op;
+  op.kind = OperatorKind::Synthesis;
+  op.problem = ProblemId{1};
+  op.designer = "ana";
+  op.assignments.emplace_back(PropertyId{1}, 2.0);
+  const auto result = dpm_.execute(std::move(op));
+
+  std::set<std::string> recipients;
+  for (const Notification& n : result.notifications) {
+    if (n.kind == NotificationKind::ViolationDetected &&
+        n.constraintId.has_value() && n.constraintId->value == 1u) {
+      recipients.insert(n.designer);
+    }
+    EXPECT_FALSE(n.designer.empty());
+  }
+  EXPECT_EQ(recipients, (std::set<std::string>{"ana"}));
+}
+
+}  // namespace
+}  // namespace adpm::dpm

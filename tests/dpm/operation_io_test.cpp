@@ -1,0 +1,95 @@
+#include "dpm/operation_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace adpm::dpm {
+namespace {
+
+using constraint::ConstraintId;
+using constraint::PropertyId;
+
+Operation fullOperation() {
+  Operation op;
+  op.kind = OperatorKind::Synthesis;
+  op.problem = ProblemId{3};
+  op.designer = "ana";
+  op.assignments.emplace_back(PropertyId{1}, 30.5);
+  op.assignments.emplace_back(PropertyId{7}, 1.0 / 3.0);
+  op.checks = {ConstraintId{0}, ConstraintId{4}};
+  op.triggeredBy = ConstraintId{2};
+  op.rationale = "alpha=2, repairing \"budget\"";
+  return op;
+}
+
+void expectEqual(const Operation& a, const Operation& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.problem.value, b.problem.value);
+  EXPECT_EQ(a.designer, b.designer);
+  ASSERT_EQ(a.assignments.size(), b.assignments.size());
+  for (std::size_t i = 0; i < a.assignments.size(); ++i) {
+    EXPECT_EQ(a.assignments[i].first.value, b.assignments[i].first.value);
+    // Bit-identical, not approximately equal: the journal must replay the
+    // exact double the live run bound.
+    EXPECT_EQ(a.assignments[i].second, b.assignments[i].second);
+  }
+  ASSERT_EQ(a.checks.size(), b.checks.size());
+  for (std::size_t i = 0; i < a.checks.size(); ++i) {
+    EXPECT_EQ(a.checks[i].value, b.checks[i].value);
+  }
+  EXPECT_EQ(a.triggeredBy.has_value(), b.triggeredBy.has_value());
+  if (a.triggeredBy && b.triggeredBy) {
+    EXPECT_EQ(a.triggeredBy->value, b.triggeredBy->value);
+  }
+  EXPECT_EQ(a.rationale, b.rationale);
+}
+
+TEST(OperationIo, FullOperationRoundTrips) {
+  const Operation op = fullOperation();
+  expectEqual(operationFromJsonLine(operationToJsonLine(op)), op);
+}
+
+TEST(OperationIo, MinimalOperationOmitsEmptyFields) {
+  Operation op;
+  op.kind = OperatorKind::Verification;
+  op.problem = ProblemId{0};
+  op.designer = "lead";
+  const std::string line = operationToJsonLine(op);
+  EXPECT_EQ(line, R"({"kind":"Verification","problem":0,"designer":"lead"})");
+  expectEqual(operationFromJsonLine(line), op);
+}
+
+TEST(OperationIo, AllKindsRoundTrip) {
+  for (const OperatorKind kind :
+       {OperatorKind::Synthesis, OperatorKind::Verification,
+        OperatorKind::Decomposition}) {
+    Operation op;
+    op.kind = kind;
+    op.designer = "d";
+    expectEqual(operationFromJsonLine(operationToJsonLine(op)), op);
+  }
+}
+
+TEST(OperationIo, EncodingIsStableAcrossRoundTrips) {
+  const std::string line = operationToJsonLine(fullOperation());
+  EXPECT_EQ(operationToJsonLine(operationFromJsonLine(line)), line);
+}
+
+TEST(OperationIo, RejectsMalformedObjects) {
+  EXPECT_THROW(operationFromJsonLine("{}"), adpm::InvalidArgumentError);
+  EXPECT_THROW(operationFromJsonLine(R"({"kind":"Wizardry","problem":0,"designer":"x"})"),
+               adpm::InvalidArgumentError);
+  EXPECT_THROW(operationFromJsonLine(R"({"kind":"Synthesis","problem":-1,"designer":"x"})"),
+               adpm::InvalidArgumentError);
+  EXPECT_THROW(operationFromJsonLine(R"({"kind":"Synthesis","problem":1.5,"designer":"x"})"),
+               adpm::InvalidArgumentError);
+  EXPECT_THROW(operationFromJsonLine(R"({"kind":"Synthesis","problem":0,"designer":"x","assign":[[1]]})"),
+               adpm::InvalidArgumentError);
+  EXPECT_THROW(operationFromJsonLine("not json at all"), adpm::Error);
+}
+
+}  // namespace
+}  // namespace adpm::dpm

@@ -1,0 +1,127 @@
+#include "service/bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace adpm::service {
+namespace {
+
+dpm::Notification note(const char* designer, std::size_t stage = 1) {
+  dpm::Notification n;
+  n.kind = dpm::NotificationKind::ViolationDetected;
+  n.designer = designer;
+  n.stage = stage;
+  n.text = "ViolationDetected: budget";
+  return n;
+}
+
+TEST(NotificationBus, RoutesByDesignerWithinSession) {
+  NotificationBus bus;
+  auto ana = bus.subscribe("s1", "ana");
+  auto ben = bus.subscribe("s1", "ben");
+
+  bus.publish("s1", {note("ana"), note("ben"), note("ana")});
+  EXPECT_EQ(bus.published(), 3u);
+  EXPECT_EQ(bus.delivered(), 3u);
+  EXPECT_EQ(bus.unrouted(), 0u);
+  EXPECT_EQ(ana->size(), 2u);
+  EXPECT_EQ(ben->size(), 1u);
+  EXPECT_EQ(ana->tryPop()->designer, "ana");
+}
+
+TEST(NotificationBus, SessionsAreIsolated) {
+  NotificationBus bus;
+  auto s1 = bus.subscribe("s1", "ana");
+  auto s2 = bus.subscribe("s2", "ana");
+  bus.publish("s1", {note("ana")});
+  EXPECT_EQ(s1->size(), 1u);
+  EXPECT_EQ(s2->size(), 0u);
+}
+
+TEST(NotificationBus, UnsubscribedDesignerCountsAsUnrouted) {
+  NotificationBus bus;
+  auto ana = bus.subscribe("s1", "ana");
+  bus.publish("s1", {note("ana"), note("nobody")});
+  EXPECT_EQ(bus.delivered(), 1u);
+  EXPECT_EQ(bus.unrouted(), 1u);
+  // No subscriber at all for the session: everything is unrouted.
+  bus.publish("ghost", {note("ana")});
+  EXPECT_EQ(bus.unrouted(), 2u);
+}
+
+TEST(NotificationBus, EverySubscriberOfASeatGetsEveryNotification) {
+  NotificationBus bus;
+  auto first = bus.subscribe("s1", "ana");
+  auto second = bus.subscribe("s1", "ana");
+  bus.publish("s1", {note("ana")});
+  EXPECT_EQ(first->size(), 1u);
+  EXPECT_EQ(second->size(), 1u);
+  EXPECT_EQ(bus.delivered(), 2u);  // two queue acceptances of one event
+}
+
+TEST(NotificationBus, DropOldestOverflowIsCounted) {
+  NotificationBus bus;
+  auto q = bus.subscribe("s1", "ana", 2, util::OverflowPolicy::DropOldest);
+  for (std::size_t i = 0; i < 5; ++i) bus.publish("s1", {note("ana", i)});
+  EXPECT_EQ(bus.dropped(), 3u);
+  EXPECT_EQ(q->size(), 2u);
+  EXPECT_EQ(q->tryPop()->stage, 3u);  // oldest survivors
+  EXPECT_EQ(q->tryPop()->stage, 4u);
+
+  // Closing the session retires the queue without losing the count.
+  bus.closeSession("s1");
+  EXPECT_EQ(bus.dropped(), 3u);
+}
+
+TEST(NotificationBus, BlockPolicyBackpressuresPublisher) {
+  NotificationBus bus;
+  auto q = bus.subscribe("s1", "ana", 1, util::OverflowPolicy::Block);
+  bus.publish("s1", {note("ana", 1)});
+
+  std::thread producer(
+      [&bus] { bus.publish("s1", {note("ana", 2)}); });  // waits for space
+  EXPECT_EQ(q->pop()->stage, 1u);
+  producer.join();
+  EXPECT_EQ(q->pop()->stage, 2u);
+  EXPECT_EQ(bus.dropped(), 0u);
+}
+
+TEST(NotificationBus, CloseSessionUnblocksPublisherAndClosesQueues) {
+  NotificationBus bus;
+  auto q = bus.subscribe("s1", "ana", 1, util::OverflowPolicy::Block);
+  bus.publish("s1", {note("ana", 1)});
+
+  std::thread producer([&bus] {
+    // Parked on the full Block queue until closeSession wakes it; the
+    // refused push is neither delivered nor dropped.
+    bus.publish("s1", {note("ana", 2)});
+  });
+  bus.closeSession("s1");
+  producer.join();
+  EXPECT_TRUE(q->closed());
+  // The pre-close item stays poppable.
+  EXPECT_EQ(q->pop()->stage, 1u);
+  EXPECT_EQ(q->pop(), std::nullopt);
+}
+
+TEST(NotificationBus, CloseAllClosesEverySession) {
+  NotificationBus bus;
+  auto a = bus.subscribe("s1", "ana");
+  auto b = bus.subscribe("s2", "ben");
+  bus.closeAll();
+  EXPECT_TRUE(a->closed());
+  EXPECT_TRUE(b->closed());
+}
+
+TEST(NotificationBus, EmptyBatchIsFree) {
+  NotificationBus bus;
+  bus.publish("s1", {});
+  EXPECT_EQ(bus.published(), 0u);
+  EXPECT_EQ(bus.unrouted(), 0u);
+}
+
+}  // namespace
+}  // namespace adpm::service

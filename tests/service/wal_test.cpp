@@ -1,0 +1,143 @@
+#include "service/wal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace adpm::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("adpm_wal_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+
+  static SessionConfig config() {
+    SessionConfig c;
+    c.id = "s1";
+    c.adpm = true;
+    c.scenarioName = "demo";
+    c.scenarioDddl = "object sys {}\n";
+    return c;
+  }
+
+  static dpm::Operation op(const char* designer, double v) {
+    dpm::Operation o;
+    o.kind = dpm::OperatorKind::Synthesis;
+    o.problem = dpm::ProblemId{0};
+    o.designer = designer;
+    o.assignments.emplace_back(constraint::PropertyId{0}, v);
+    return o;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(WalTest, RoundTripsHeaderOperationsAndMarks) {
+  const std::string p = path("round.wal");
+  {
+    OperationLog log(p);
+    log.appendOpen(config());
+    log.appendOperation(op("ana", 1.5));
+    log.appendOperation(op("ben", 2.5));
+    log.appendMark(2, "00000000deadbeef");
+    EXPECT_EQ(log.recordsWritten(), 4u);
+  }
+  const OperationLog::Replay replay = OperationLog::read(p);
+  EXPECT_EQ(replay.config.id, "s1");
+  EXPECT_TRUE(replay.config.adpm);
+  EXPECT_EQ(replay.config.scenarioName, "demo");
+  EXPECT_EQ(replay.config.scenarioDddl, "object sys {}\n");
+  ASSERT_EQ(replay.operations.size(), 2u);
+  EXPECT_EQ(replay.operations[0].designer, "ana");
+  EXPECT_EQ(replay.operations[0].assignments[0].second, 1.5);
+  EXPECT_EQ(replay.operations[1].designer, "ben");
+  ASSERT_EQ(replay.marks.size(), 1u);
+  EXPECT_EQ(replay.marks[0].stage, 2u);
+  EXPECT_EQ(replay.marks[0].digest, "00000000deadbeef");
+}
+
+TEST_F(WalTest, AppendAfterReopenContinuesTheLog) {
+  const std::string p = path("reopen.wal");
+  {
+    OperationLog log(p);
+    log.appendOpen(config());
+    log.appendOperation(op("ana", 1.0));
+  }
+  {
+    OperationLog log(p);  // recovered session: append, no new header
+    log.appendOperation(op("ben", 2.0));
+  }
+  const OperationLog::Replay replay = OperationLog::read(p);
+  ASSERT_EQ(replay.operations.size(), 2u);
+  EXPECT_EQ(replay.operations[1].designer, "ben");
+}
+
+TEST_F(WalTest, ReadRejectsMissingHeader) {
+  const std::string p = path("noheader.wal");
+  {
+    std::ofstream out(p);
+    out << R"({"t":"op","op":{"kind":"Synthesis","problem":0,"designer":"x"}})"
+        << "\n";
+  }
+  EXPECT_THROW(OperationLog::read(p), adpm::Error);
+}
+
+TEST_F(WalTest, ReadRejectsUnknownVersion) {
+  const std::string p = path("badversion.wal");
+  {
+    std::ofstream out(p);
+    out << R"({"t":"open","v":99,"session":"s","adpm":true,"scenario":"d","dddl":""})"
+        << "\n";
+  }
+  EXPECT_THROW(OperationLog::read(p), adpm::Error);
+}
+
+TEST_F(WalTest, ReadRejectsUnknownRecordType) {
+  const std::string p = path("badtype.wal");
+  {
+    OperationLog log(p);
+    log.appendOpen(config());
+  }
+  {
+    std::ofstream out(p, std::ios::app);
+    out << R"({"t":"mystery"})" << "\n";
+  }
+  EXPECT_THROW(OperationLog::read(p), adpm::Error);
+}
+
+TEST_F(WalTest, ReadRejectsMalformedJsonLine) {
+  const std::string p = path("badjson.wal");
+  {
+    OperationLog log(p);
+    log.appendOpen(config());
+  }
+  {
+    std::ofstream out(p, std::ios::app);
+    out << "{not json\n";
+  }
+  EXPECT_THROW(OperationLog::read(p), adpm::Error);
+}
+
+TEST_F(WalTest, ReadRejectsMissingFile) {
+  EXPECT_THROW(OperationLog::read(path("absent.wal")), adpm::Error);
+}
+
+}  // namespace
+}  // namespace adpm::service

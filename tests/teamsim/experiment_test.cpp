@@ -87,6 +87,18 @@ TEST(Experiment, ParallelSweepMatchesSerialOnReceiver) {
                  runSeedSweep(spec, base, 1, 1, "s"));
 }
 
+TEST(Experiment, ParallelSweepAutoThreadCountMatchesSerial) {
+  // threads=0 means "use hardware_concurrency()" — which the standard
+  // allows to report 0 ("not computable", e.g. restrictive cgroups).  The
+  // sweep must clamp that to one worker and still produce the serial
+  // result, never divide by zero or spawn nothing.
+  SimulationOptions base;
+  base.adpm = true;
+  const auto spec = scenarios::walkthroughScenario();
+  expectSameCell(runSeedSweepParallel(spec, base, 4, 1, "auto", 0),
+                 runSeedSweep(spec, base, 4, 1, "serial"));
+}
+
 TEST(Comparison, RatioGuards) {
   Comparison cmp;
   // Empty cells: every ratio degrades gracefully.
