@@ -123,6 +123,9 @@ int main(int argc, char** argv) {
       const std::vector<std::string> ids = store.recover();
       std::printf("recovered %zu session(s) from %s\n", ids.size(),
                   walDir.c_str());
+      for (const std::string& error : store.recoverErrors()) {
+        std::fprintf(stderr, "skipped: %s\n", error.c_str());
+      }
       printSessions(store);
       return 0;
     }

@@ -193,7 +193,8 @@ std::unique_ptr<Session> recoverSession(const std::string& logPath,
   // Reopen in append mode *without* re-writing the header; the recovered
   // session continues the same log.
   auto session = std::make_unique<Session>(
-      replay.config, spec, std::make_unique<OperationLog>(logPath), options);
+      replay.config, spec,
+      std::make_unique<OperationLog>(logPath, options.walSync), options);
 
   std::size_t nextMark = 0;
   std::size_t stage = 0;

@@ -44,6 +44,10 @@ class Session {
     /// Append a snapshot-digest mark to the log every N operations
     /// (0 = only on explicit snapshot() calls with a log attached... never).
     std::size_t markEvery = 32;
+    /// fsync the WAL after every record: storage durability (survives OS
+    /// crash / power loss) at one fsync per operation.  Off = flush-only,
+    /// which survives a process crash but not the machine dying.
+    bool walSync = false;
   };
 
   /// Builds the session from its config: parses nothing — the caller

@@ -48,9 +48,6 @@ void SessionStore::open(const std::string& id, const dpm::ScenarioSpec& spec,
     throw adpm::InvalidArgumentError("session id '" + id +
                                      "' is not filesystem-safe");
   }
-  if (has(id)) {  // check before the WAL header hits the disk
-    throw adpm::InvalidArgumentError("session '" + id + "' already open");
-  }
   SessionConfig config;
   config.id = id;
   config.adpm = adpm;
@@ -59,18 +56,40 @@ void SessionStore::open(const std::string& id, const dpm::ScenarioSpec& spec,
   // also pins the exact spec replay will instantiate.
   config.scenarioDddl = dddl::write(spec);
 
+  // One critical section covers the duplicate-id check, the WAL-exists
+  // check, the header write, and the map insertion: two racing open("x")
+  // calls must not both write a header (OperationLog::read rejects a
+  // two-header log as corrupt, which would make the session unrecoverable).
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sessions_.contains(id)) {
+    throw adpm::InvalidArgumentError("session '" + id + "' already open");
+  }
   std::unique_ptr<OperationLog> log;
   if (!options_.walDir.empty()) {
-    log = std::make_unique<OperationLog>(walPathOf(id));
+    const std::string path = walPathOf(id);
+    if (std::filesystem::exists(path)) {
+      // close() keeps WALs and crashes leave them; a fresh open() always
+      // writes a fresh header, so appending to a leftover log would corrupt
+      // it.  The caller decides: recover() the log or remove the file.
+      throw adpm::InvalidArgumentError(
+          "session '" + id + "' has an existing operation log at '" + path +
+          "'; recover() it or remove the file before reopening the id");
+    }
+    log = std::make_unique<OperationLog>(path, options_.session.walSync);
     log->appendOpen(config);
   }
-  adopt(id, std::make_unique<Session>(std::move(config), spec, std::move(log),
-                                      options_.session));
+  adoptLocked(id, std::make_unique<Session>(std::move(config), spec,
+                                            std::move(log), options_.session));
 }
 
 std::vector<std::string> SessionStore::recover() {
   std::vector<std::string> recovered;
-  if (options_.walDir.empty()) return recovered;
+  std::vector<std::string> errors;
+  if (options_.walDir.empty()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    recoverErrors_.clear();
+    return recovered;
+  }
 
   std::vector<std::filesystem::path> logs;
   for (const auto& entry :
@@ -82,21 +101,32 @@ std::vector<std::string> SessionStore::recover() {
   std::sort(logs.begin(), logs.end());  // deterministic recovery order
 
   for (const std::filesystem::path& path : logs) {
-    std::unique_ptr<Session> session =
-        recoverSession(path.string(), options_.session);
-    std::string id = session->id();
-    {
+    // One bad log (corrupt, diverged, id raced in) must not abort recovery
+    // of the remaining files; it is skipped and reported instead.
+    try {
+      std::unique_ptr<Session> session =
+          recoverSession(path.string(), options_.session);
+      std::string id = session->id();
       std::lock_guard<std::mutex> lock(mutex_);
       if (sessions_.contains(id)) continue;  // already live, skip the log
+      adoptLocked(id, std::move(session));
+      recovered.push_back(std::move(id));
+    } catch (const adpm::Error& e) {
+      errors.push_back(path.string() + ": " + e.what());
     }
-    adopt(id, std::move(session));
-    recovered.push_back(std::move(id));
   }
+  std::lock_guard<std::mutex> lock(mutex_);
+  recoverErrors_ = std::move(errors);
   return recovered;
 }
 
-void SessionStore::adopt(const std::string& id,
-                         std::unique_ptr<Session> session) {
+std::vector<std::string> SessionStore::recoverErrors() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recoverErrors_;
+}
+
+void SessionStore::adoptLocked(const std::string& id,
+                               std::unique_ptr<Session> session) {
   auto entry = std::make_shared<Entry>();
   entry->session = std::move(session);
   entry->strand = executor_.makeStrand();
@@ -104,11 +134,7 @@ void SessionStore::adopt(const std::string& id,
       [this, id](const std::vector<dpm::Notification>& batch) {
         bus_.publish(id, batch);
       });
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto [it, inserted] = sessions_.emplace(id, std::move(entry));
-  if (!inserted) {
-    throw adpm::InvalidArgumentError("session '" + id + "' already open");
-  }
+  sessions_.emplace(id, std::move(entry));  // caller checked for duplicates
 }
 
 void SessionStore::close(const std::string& id) {
@@ -182,7 +208,16 @@ std::future<SessionSnapshot> SessionStore::snapshot(const std::string& id) {
 
 std::shared_ptr<NotificationBus::Queue> SessionStore::subscribe(
     const std::string& id, const std::string& designer) {
-  entryOf(id);  // validate the session exists
+  // Hold the store lock across the existence check *and* the bus
+  // registration: a concurrent close(id) then either runs after us (and
+  // closes the new queue with the rest) or before us (and we throw) — never
+  // a live queue left on a dead session, which would hang its consumer's
+  // blocking pop() forever.  Lock order store→bus is consistent everywhere;
+  // the bus never calls back into the store.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!sessions_.contains(id)) {
+    throw adpm::InvalidArgumentError("unknown session '" + id + "'");
+  }
   return bus_.subscribe(id, designer);
 }
 

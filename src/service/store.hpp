@@ -60,12 +60,21 @@ class SessionStore {
   // -- lifecycle -------------------------------------------------------------
 
   /// Creates a session from a scenario spec.  The id must be unique and
-  /// filesystem-safe ([A-Za-z0-9._-]).  Throws on duplicates.
+  /// filesystem-safe ([A-Za-z0-9._-]).  Throws on duplicates, and on ids
+  /// whose WAL file already exists (close() keeps logs, crashes leave them;
+  /// appending a second header would corrupt the log — recover() it or
+  /// remove the file first).
   void open(const std::string& id, const dpm::ScenarioSpec& spec, bool adpm);
 
   /// Rebuilds every "*.wal" session found in walDir (replaying operation
-  /// logs, checking snapshot digests).  Returns the recovered ids.
+  /// logs, checking snapshot digests).  Returns the recovered ids.  A log
+  /// that fails to replay (corrupt, diverged, duplicate id raced in) is
+  /// skipped — recovery of the remaining logs continues — and reported via
+  /// recoverErrors().
   std::vector<std::string> recover();
+
+  /// "<path>: <reason>" for every log the most recent recover() skipped.
+  std::vector<std::string> recoverErrors() const;
 
   /// Closes a session: waits for its queued commands, closes its
   /// notification queues, and forgets it.  The WAL file stays on disk.
@@ -119,12 +128,14 @@ class SessionStore {
   };
 
   std::shared_ptr<Entry> entryOf(const std::string& id) const;
-  void adopt(const std::string& id, std::unique_ptr<Session> session);
+  /// Wires up and inserts a session entry; mutex_ must be held.
+  void adoptLocked(const std::string& id, std::unique_ptr<Session> session);
   std::string walPathOf(const std::string& id) const;
 
   Options options_;
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<Entry>> sessions_;
+  std::vector<std::string> recoverErrors_;
   NotificationBus bus_;
   /// Last member: its destructor drains/joins while sessions and bus are
   /// still alive for in-flight strand tasks.

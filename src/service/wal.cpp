@@ -2,24 +2,50 @@
 
 #include <fstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define ADPM_WAL_HAS_FSYNC 1
+#else
+#define ADPM_WAL_HAS_FSYNC 0
+#endif
+
 #include "dpm/operation_io.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 
 namespace adpm::service {
 
-OperationLog::OperationLog(std::string path)
-    : path_(std::move(path)), out_(path_, std::ios::app) {
-  if (!out_) {
+OperationLog::OperationLog(std::string path, bool sync)
+    : path_(std::move(path)),
+      sync_(sync),
+      out_(std::fopen(path_.c_str(), "a")) {
+  if (out_ == nullptr) {
     throw adpm::Error("cannot open operation log '" + path_ + "'");
   }
 }
 
+OperationLog::~OperationLog() {
+  if (out_ != nullptr) std::fclose(out_);
+}
+
 void OperationLog::appendLine(const std::string& line) {
-  out_ << line << '\n';
-  out_.flush();  // line-granular durability: a crash loses at most one record
-  if (!out_) {
+  const bool ok =
+      std::fwrite(line.data(), 1, line.size(), out_) == line.size() &&
+      std::fputc('\n', out_) != EOF &&
+      std::fflush(out_) == 0;
+  if (!ok) {
     throw adpm::Error("short write to operation log '" + path_ + "'");
+  }
+  // fflush hands the record to the OS: a *process* crash now loses at most
+  // the record being appended, but an OS crash or power loss may still drop
+  // acknowledged records.  sync_ upgrades the guarantee to storage
+  // durability with one fsync per record.
+  if (sync_) {
+#if ADPM_WAL_HAS_FSYNC
+    if (::fsync(::fileno(out_)) != 0) {
+      throw adpm::Error("fsync failed on operation log '" + path_ + "'");
+    }
+#endif
   }
   ++written_;
 }

@@ -19,7 +19,7 @@
 // session.
 #pragma once
 
-#include <fstream>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -44,7 +44,16 @@ class OperationLog {
 
   /// Opens `path` for appending (creating it if absent).  Throws
   /// adpm::Error when the file cannot be opened.
-  explicit OperationLog(std::string path);
+  ///
+  /// Every appended record is flushed to the OS, which survives a *process*
+  /// crash; with `sync` set each record is additionally fsync'd, extending
+  /// the guarantee to OS crashes and power loss at the cost of one fsync
+  /// per record.
+  explicit OperationLog(std::string path, bool sync = false);
+  ~OperationLog();
+
+  OperationLog(const OperationLog&) = delete;
+  OperationLog& operator=(const OperationLog&) = delete;
 
   const std::string& path() const noexcept { return path_; }
 
@@ -80,7 +89,8 @@ class OperationLog {
   void appendLine(const std::string& line);
 
   std::string path_;
-  std::ofstream out_;
+  bool sync_ = false;
+  std::FILE* out_ = nullptr;
   std::size_t written_ = 0;
 };
 

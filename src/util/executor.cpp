@@ -101,6 +101,15 @@ void Executor::Strand::post(std::function<void()> task) {
     return;
   }
 
+  // Count the task before it becomes consumable: once it sits in the strand
+  // queue, an already-active dispatch on a pool thread may run it and
+  // finishOne() immediately, so incrementing pending_ afterwards would let
+  // the count transiently hit 0 (drain() returning with work still queued)
+  // and then underflow.
+  {
+    std::lock_guard<std::mutex> lock(executor_.mutex_);
+    ++executor_.pending_;
+  }
   bool schedule = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -110,16 +119,15 @@ void Executor::Strand::post(std::function<void()> task) {
       schedule = true;
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(executor_.mutex_);
-    ++executor_.pending_;
-    if (schedule) {
+  if (schedule) {
+    {
+      std::lock_guard<std::mutex> lock(executor_.mutex_);
       // Internal dispatch: runs one strand task per pool slot; not counted
       // as a task itself (pending_ tracks user tasks only).
       executor_.queue_.push_back([this] { runOne(); });
     }
+    executor_.wake_.notify_one();
   }
-  executor_.wake_.notify_one();
 }
 
 void Executor::Strand::runOne() {

@@ -200,11 +200,38 @@ TEST_F(SessionReplayTest, StoreRecoverRebuildsAllSessions) {
   const std::vector<std::string> recovered = fresh.recover();
   EXPECT_EQ(recovered,
             (std::vector<std::string>{"f-0", "t-0"}));  // sorted by path
+  EXPECT_TRUE(fresh.recoverErrors().empty());
   EXPECT_EQ(fresh.snapshot("t-0").get().text, liveT.text);
   EXPECT_EQ(fresh.snapshot("f-0").get().text, liveF.text);
 
   // Recovery skips ids that are already live instead of clobbering them.
   EXPECT_TRUE(fresh.recover().empty());
+}
+
+TEST_F(SessionReplayTest, RecoverSkipsBadLogsAndRecoversTheRest) {
+  {
+    SessionStore store(storeOptions("part"));
+    LoadOptions load;
+    load.sessions = 1;
+    load.sim.seed = 3;
+    load.sim.adpm = true;
+    load.idPrefix = "t-";
+    runLoad(store, scenarios::sensingSystemScenario(), load);
+  }
+  // A corrupt sibling log (no header) sorts before the good one.
+  const fs::path bad = dir_ / "part" / "a-bad.wal";
+  {
+    std::ofstream out(bad);
+    out << "{not json\n";
+  }
+
+  SessionStore fresh(storeOptions("part"));
+  const std::vector<std::string> recovered = fresh.recover();
+  EXPECT_EQ(recovered, (std::vector<std::string>{"t-0"}));
+  EXPECT_GT(fresh.snapshot("t-0").get().stage, 0u);  // fully rebuilt
+  const std::vector<std::string> errors = fresh.recoverErrors();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("a-bad.wal"), std::string::npos);
 }
 
 }  // namespace

@@ -170,9 +170,14 @@ TEST(SessionStore, CloseForgetsTheSessionButKeepsTheWal) {
     store.close("s");  // idempotent
     EXPECT_TRUE(fs::exists(dir / "s.wal"));
 
-    // The id can be reused for a *fresh* session... but not while the old
-    // WAL exists (open always writes a new header).  Volatile reopen after
-    // removing the log:
+    // The id cannot be reused while the old WAL exists: open() always
+    // writes a fresh header, and a two-header log is unrecoverable, so the
+    // store refuses instead of silently corrupting the file.
+    EXPECT_THROW(store.open("s", twoTeamScenario(), true),
+                 adpm::InvalidArgumentError);
+    EXPECT_FALSE(store.has("s"));
+
+    // After removing the leftover log the id is free again.
     fs::remove(dir / "s.wal");
     store.open("s", twoTeamScenario(), true);
     EXPECT_EQ(store.snapshot("s").get().stage, 0u);

@@ -89,6 +89,20 @@ TEST_F(WalTest, AppendAfterReopenContinuesTheLog) {
   EXPECT_EQ(replay.operations[1].designer, "ben");
 }
 
+TEST_F(WalTest, SyncModeAppendsAndRoundTrips) {
+  // sync=true adds an fsync per record; the on-disk format is identical.
+  const std::string p = path("sync.wal");
+  {
+    OperationLog log(p, /*sync=*/true);
+    log.appendOpen(config());
+    log.appendOperation(op("ana", 1.0));
+    EXPECT_EQ(log.recordsWritten(), 2u);
+  }
+  const OperationLog::Replay replay = OperationLog::read(p);
+  ASSERT_EQ(replay.operations.size(), 1u);
+  EXPECT_EQ(replay.operations[0].designer, "ana");
+}
+
 TEST_F(WalTest, ReadRejectsMissingHeader) {
   const std::string p = path("noheader.wal");
   {

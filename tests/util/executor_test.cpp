@@ -149,6 +149,37 @@ TEST(Executor, ChainedStrandTasksComplete) {
   EXPECT_EQ(counter->load(), 50);
 }
 
+TEST(Executor, DrainCoversStrandTasksPostedBeforeItStarts) {
+  // Regression for a counting race: Strand::post used to publish the task
+  // and only then increment the executor's pending count in a second
+  // critical section, so an already-active dispatch could retire the new
+  // task first, pending_ transiently hit zero, and drain() could return
+  // while counted work was still queued.  The invariant checked here is
+  // one-sided safe: every task whose post() returned before drain() was
+  // called must be complete when drain() returns, no matter what a
+  // concurrent poster does to the same strand.
+  Executor ex(Executor::Options{.threads = 2});
+  auto strand = ex.makeStrand();
+  constexpr int kTasks = 16;
+  for (int round = 0; round < 300; ++round) {
+    std::atomic<int> doneBefore{0};
+    std::atomic<int> doneRacing{0};
+    for (int i = 0; i < kTasks; ++i) {
+      strand->post([&] { doneBefore.fetch_add(1); });
+    }
+    std::thread racer([&] {
+      for (int i = 0; i < kTasks; ++i) {
+        strand->post([&] { doneRacing.fetch_add(1); });
+      }
+    });
+    ex.drain();  // races with the posts above
+    ASSERT_EQ(doneBefore.load(), kTasks);
+    racer.join();
+    ex.drain();
+    ASSERT_EQ(doneRacing.load(), kTasks);
+  }
+}
+
 TEST(Executor, DrainIsReusable) {
   Executor ex(Executor::Options{.threads = 2});
   std::atomic<int> ran{0};
