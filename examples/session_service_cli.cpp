@@ -17,6 +17,7 @@
 #include "service/load.hpp"
 #include "service/store.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/table.hpp"
 
 using namespace adpm;
@@ -36,7 +37,13 @@ int usage() {
       "  --max-ops <n>                  per-session operation cap\n"
       "  --wal-dir <dir>                journal sessions to <dir>/<id>.wal\n"
       "  --recover                      rebuild sessions from --wal-dir and\n"
-      "                                 print their replayed state (no load)\n");
+      "                                 print their replayed state (no load);\n"
+      "                                 exits 1 if any session was lost\n"
+      "  --salvage                      recover damaged logs by truncating to\n"
+      "                                 the longest trustworthy prefix\n"
+      "  --fault-plan <spec>            arm failpoints, e.g.\n"
+      "                                 'wal.append=short-write:every=3'\n"
+      "                                 (needs -DADPM_FAULT_INJECTION=ON)\n");
   return 2;
 }
 
@@ -73,6 +80,8 @@ int main(int argc, char** argv) {
   std::size_t maxOps = 20000;
   std::string walDir;
   bool recover = false;
+  bool salvage = false;
+  std::string faultPlan;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -103,16 +112,31 @@ int main(int argc, char** argv) {
       walDir = next();
     } else if (arg == "--recover") {
       recover = true;
+    } else if (arg == "--salvage") {
+      salvage = true;
+    } else if (arg == "--fault-plan") {
+      faultPlan = next();
     } else {
       return usage();
     }
   }
 
   try {
+    if (!faultPlan.empty()) {
+#if defined(ADPM_FAULT_INJECTION) && ADPM_FAULT_INJECTION
+      util::FaultRegistry::instance().armFromSpec(faultPlan);
+#else
+      std::fprintf(stderr,
+                   "--fault-plan ignored: binary built without "
+                   "-DADPM_FAULT_INJECTION=ON\n");
+#endif
+    }
+
     service::SessionStore::Options options;
     options.executor.threads = threads;
     options.executor.deterministic = deterministic;
     options.walDir = walDir;
+    if (salvage) options.recovery = service::RecoveryPolicy::Salvage;
 
     if (recover) {
       if (walDir.empty()) {
@@ -123,11 +147,24 @@ int main(int argc, char** argv) {
       const std::vector<std::string> ids = store.recover();
       std::printf("recovered %zu session(s) from %s\n", ids.size(),
                   walDir.c_str());
-      for (const std::string& error : store.recoverErrors()) {
-        std::fprintf(stderr, "skipped: %s\n", error.c_str());
+      bool lost = false;
+      for (const service::RecoveryEvent& event : store.recoverReport()) {
+        if (event.sessionLost) {
+          lost = true;
+          std::fprintf(stderr, "lost: %s: %s\n", event.path.c_str(),
+                       event.detail.c_str());
+        } else if (event.salvaged) {
+          std::fprintf(stderr,
+                       "salvaged: %s: kept %zu stage(s), dropped %zu "
+                       "operation(s) / %zu byte(s)%s%s\n",
+                       event.path.c_str(), event.keptStage,
+                       event.droppedOperations, event.droppedBytes,
+                       event.detail.empty() ? "" : ": ",
+                       event.detail.c_str());
+        }
       }
       printSessions(store);
-      return 0;
+      return lost ? 1 : 0;
     }
 
     service::SessionStore store{std::move(options)};

@@ -12,6 +12,7 @@ const char* notificationKindName(NotificationKind k) noexcept {
       return "FeasibleSubspaceReduced";
     case NotificationKind::ProblemSolved: return "ProblemSolved";
     case NotificationKind::RequirementChanged: return "RequirementChanged";
+    case NotificationKind::ResyncRequired: return "ResyncRequired";
   }
   return "?";
 }

@@ -22,6 +22,11 @@ enum class NotificationKind : std::uint8_t {
   FeasibleSubspaceReduced,
   ProblemSolved,
   RequirementChanged,
+  /// Service-level: the subscriber's queue saturated and per-event delivery
+  /// was coalesced; the client should refetch a session snapshot instead of
+  /// trusting its event stream to be complete (service/bus.hpp degraded
+  /// mode).  Never produced by NotificationManager::diff.
+  ResyncRequired,
 };
 
 const char* notificationKindName(NotificationKind k) noexcept;

@@ -1,5 +1,7 @@
 #include "service/bus.hpp"
 
+#include "util/fault.hpp"
+
 namespace adpm::service {
 
 std::shared_ptr<NotificationBus::Queue> NotificationBus::subscribe(
@@ -13,13 +15,23 @@ std::shared_ptr<NotificationBus::Queue> NotificationBus::subscribe(
     std::size_t capacity, util::OverflowPolicy overflow) {
   auto queue = std::make_shared<Queue>(capacity, overflow);
   std::lock_guard<std::mutex> lock(mutex_);
-  bySession_[sessionId].push_back(Subscription{designer, queue});
+  bySession_[sessionId].push_back(
+      Subscription{designer, queue, std::make_shared<SubscriberState>()});
   return queue;
 }
 
 void NotificationBus::publish(const std::string& sessionId,
                               const std::vector<dpm::Notification>& batch) {
   if (batch.empty()) return;
+
+  if (ADPM_FAULT_POINT("bus.publish") != util::FaultAction::None) {
+    // A lossy bus, not a failed operation: the session applied and
+    // journaled the op, only its fan-out evaporates (counted, not thrown —
+    // throwing here would fail an apply whose state change already exists).
+    std::lock_guard<std::mutex> lock(mutex_);
+    injectedFailures_ += batch.size();
+    return;
+  }
 
   // Snapshot the subscriptions, then push outside the bus lock: a Block
   // queue may park this producer until its consumer catches up, and that
@@ -32,12 +44,58 @@ void NotificationBus::publish(const std::string& sessionId,
     if (it != bySession_.end()) targets = it->second;
   }
 
+  // Degrade thresholds: the resync marker must always fit, so the
+  // high-water mark stays below the queue capacity.
+  const std::size_t hwm = options_.degradeHighWater;
+  const std::size_t lwm =
+      options_.resumeLowWater > 0 ? options_.resumeLowWater : hwm / 2;
+
   std::size_t delivered = 0;
   std::size_t unrouted = 0;
+  std::size_t downgrades = 0;
+  std::size_t coalesced = 0;
+  std::size_t injected = 0;
   for (const dpm::Notification& n : batch) {
     bool routed = false;
     for (const Subscription& sub : targets) {
       if (sub.designer != n.designer) continue;
+      if (hwm > 0) {
+        const std::size_t highWater =
+            hwm >= sub.queue->capacity() ? sub.queue->capacity() - 1 : hwm;
+        if (sub.state->degraded.load(std::memory_order_relaxed)) {
+          if (sub.queue->size() <= lwm) {
+            // Consumer caught up: resume per-event delivery.
+            sub.state->degraded.store(false, std::memory_order_relaxed);
+          } else {
+            // Still saturated: this event is covered by the pending
+            // ResyncRequired marker already in the queue.
+            routed = true;
+            ++coalesced;
+            continue;
+          }
+        } else if (sub.queue->size() >= highWater) {
+          // Saturation: downgrade to coalesced delivery.  One resync
+          // marker replaces the stream until the consumer drains; the
+          // producing strand neither parks (Block) nor sheds silently
+          // (DropOldest).
+          sub.state->degraded.store(true, std::memory_order_relaxed);
+          ++downgrades;
+          dpm::Notification resync;
+          resync.kind = dpm::NotificationKind::ResyncRequired;
+          resync.designer = n.designer;
+          resync.stage = n.stage;
+          resync.text =
+              "subscriber queue saturated; refetch a session snapshot";
+          if (sub.queue->push(std::move(resync))) ++delivered;
+          routed = true;
+          ++coalesced;
+          continue;
+        }
+      }
+      if (ADPM_FAULT_POINT("bus.enqueue") != util::FaultAction::None) {
+        ++injected;  // this subscriber misses this event; counted
+        continue;
+      }
       if (sub.queue->push(n)) {
         routed = true;
         ++delivered;
@@ -49,6 +107,9 @@ void NotificationBus::publish(const std::string& sessionId,
     std::lock_guard<std::mutex> lock(mutex_);
     delivered_ += delivered;
     unrouted_ += unrouted;
+    downgrades_ += downgrades;
+    coalesced_ += coalesced;
+    injectedFailures_ += injected;
   }
 }
 
@@ -101,6 +162,21 @@ std::size_t NotificationBus::dropped() const {
     for (const Subscription& sub : subs) total += sub.queue->dropped();
   }
   return total;
+}
+
+std::size_t NotificationBus::downgrades() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return downgrades_;
+}
+
+std::size_t NotificationBus::coalesced() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return coalesced_;
+}
+
+std::size_t NotificationBus::injectedFailures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injectedFailures_;
 }
 
 }  // namespace adpm::service

@@ -9,8 +9,19 @@
 // (Block = backpressure the session, DropOldest = prefer fresh events) and
 // every drop is counted — losing guidance silently is exactly the failure
 // mode the paper's NM exists to prevent.
+//
+// Degraded mode: overload should not get to choose between blocking the
+// producing strand (Block) and silently shedding events (DropOldest).  With
+// `degradeHighWater` set, a subscriber whose queue depth reaches the
+// high-water mark is switched to *coalesced* delivery: one ResyncRequired
+// notification is enqueued and subsequent events are counted (coalesced())
+// instead of pushed, so the strand never parks and the consumer learns its
+// stream is incomplete.  When the consumer drains the queue back to the
+// low-water mark, per-event delivery resumes — the downgrade/resume cycle is
+// counted, never silent.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <map>
 #include <memory>
@@ -30,6 +41,13 @@ class NotificationBus {
   struct Options {
     std::size_t queueCapacity = 256;
     util::OverflowPolicy overflow = util::OverflowPolicy::DropOldest;
+    /// Queue depth at which a subscriber is downgraded to coalesced
+    /// ResyncRequired delivery (0 = degraded mode off).  Clamped to below
+    /// the queue capacity so the resync marker itself always fits.
+    std::size_t degradeHighWater = 0;
+    /// Queue depth at or below which a degraded subscriber resumes
+    /// per-event delivery (0 = degradeHighWater / 2).
+    std::size_t resumeLowWater = 0;
   };
 
   NotificationBus() : NotificationBus(Options{}) {}
@@ -66,11 +84,27 @@ class NotificationBus {
   std::size_t unrouted() const;   ///< no subscriber for (session, designer)
   /// Total DropOldest evictions across all queues ever subscribed.
   std::size_t dropped() const;
+  /// Subscriber downgrades into coalesced (degraded) delivery.
+  std::size_t downgrades() const;
+  /// Notifications absorbed into a pending resync instead of enqueued.
+  std::size_t coalesced() const;
+  /// Notifications/batches suppressed by armed bus.publish/bus.enqueue
+  /// failpoints (fault-injection builds only).
+  std::size_t injectedFailures() const;
 
  private:
+  /// Mutable per-subscriber state shared between publish() (which works on
+  /// a snapshot of the subscription list, outside the bus lock) and the
+  /// registry.  `degraded` is only flipped by publishers, which are
+  /// serialized per session by the session's strand.
+  struct SubscriberState {
+    std::atomic<bool> degraded{false};
+  };
+
   struct Subscription {
     std::string designer;
     std::shared_ptr<Queue> queue;
+    std::shared_ptr<SubscriberState> state;
   };
 
   Options options_;
@@ -82,6 +116,9 @@ class NotificationBus {
   std::size_t published_ = 0;
   std::size_t delivered_ = 0;
   std::size_t unrouted_ = 0;
+  std::size_t downgrades_ = 0;
+  std::size_t coalesced_ = 0;
+  std::size_t injectedFailures_ = 0;
 };
 
 }  // namespace adpm::service

@@ -33,24 +33,33 @@ struct SessionDriver {
 void pumpSession(SessionStore& store,
                  const std::shared_ptr<SessionDriver>& driver) {
   store.withSession(driver->id, [&store, driver](Session& session) {
-    if (!driver->client) {
-      driver->client.emplace(session.manager(), driver->sim);
-    }
-    std::optional<dpm::Operation> op;
-    if (driver->ops < driver->maxOps) {
-      op = driver->client->propose(session.manager());
-    }
-    if (!op) {  // idle: complete, deadlocked, or over budget
-      if (session.complete()) driver->completedSessions->fetch_add(1);
+    try {
+      if (!driver->client) {
+        driver->client.emplace(session.manager(), driver->sim);
+      }
+      std::optional<dpm::Operation> op;
+      if (driver->ops < driver->maxOps) {
+        op = driver->client->propose(session.manager());
+      }
+      if (!op) {  // idle: complete, deadlocked, or over budget
+        if (session.complete()) driver->completedSessions->fetch_add(1);
+        driver->totalOps->fetch_add(driver->ops);
+        driver->done->count_down();
+        return;
+      }
+      const dpm::DesignProcessManager::ExecResult result =
+          session.apply(std::move(*op));
+      driver->client->observe(session.manager(), result.record);
+      ++driver->ops;
+      pumpSession(store, driver);
+    } catch (...) {
+      // A failed pump (poisoned WAL, injected fault, ...) retires the
+      // session as not-completed.  Nobody reads the future withSession
+      // returns here, so swallowing is the only option — and the latch must
+      // count down exactly once per driver or runLoad would hang forever.
       driver->totalOps->fetch_add(driver->ops);
       driver->done->count_down();
-      return;
     }
-    const dpm::DesignProcessManager::ExecResult result =
-        session.apply(std::move(*op));
-    driver->client->observe(session.manager(), result.record);
-    ++driver->ops;
-    pumpSession(store, driver);
   });
 }
 

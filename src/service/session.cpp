@@ -1,6 +1,8 @@
 #include "service/session.hpp"
 
 #include <cstdio>
+#include <filesystem>
+#include <system_error>
 
 #include "dddl/parser.hpp"
 #include "util/error.hpp"
@@ -186,38 +188,94 @@ Session::VerifyResult Session::verify() {
 }
 
 std::unique_ptr<Session> recoverSession(const std::string& logPath,
-                                        Session::Options options) {
-  OperationLog::Replay replay = OperationLog::read(logPath);
-
+                                        Session::Options options,
+                                        RecoveryPolicy policy,
+                                        SalvageOutcome* outcome) {
+  const OperationLog::Replay replay = OperationLog::read(logPath, policy);
   const dpm::ScenarioSpec spec = dddl::parse(replay.config.scenarioDddl);
-  // Reopen in append mode *without* re-writing the header; the recovered
-  // session continues the same log.
-  auto session = std::make_unique<Session>(
-      replay.config, spec,
-      std::make_unique<OperationLog>(logPath, options.walSync), options);
 
-  std::size_t nextMark = 0;
+  SalvageOutcome result;
+  result.salvaged = replay.truncatedTail;
+  result.droppedBytes = replay.droppedBytes;
+  result.reason = replay.tailError;
+
+  auto makeSession = [&] {
+    return std::make_unique<Session>(replay.config, spec, nullptr, options);
+  };
+
+  // Replay the surviving operations, re-deriving the digest at each mark.
+  // Operations are copied, not moved: a Salvage divergence needs them a
+  // second time for the rollback rebuild.
+  std::unique_ptr<Session> session = makeSession();
+  std::size_t keepOps = replay.operations.size();
   std::size_t stage = 0;
-  for (dpm::Operation& op : replay.operations) {
-    session->replayApply(std::move(op));
+  std::size_t nextMark = 0;
+  std::size_t lastVerifiedStage = 0;
+  std::size_t lastVerifiedOffset = replay.headerEndOffset;
+  bool diverged = false;
+  for (std::size_t i = 0; i < keepOps && !diverged; ++i) {
+    session->replayApply(dpm::Operation(replay.operations[i]));
     ++stage;
     while (nextMark < replay.marks.size() &&
            replay.marks[nextMark].stage == stage) {
       const std::string digest = session->snapshot().digest;
       if (digest != replay.marks[nextMark].digest) {
-        throw adpm::Error(
-            "operation log '" + logPath + "' diverged at stage " +
-            std::to_string(stage) + ": snapshot digest " + digest +
-            " != logged " + replay.marks[nextMark].digest);
+        const std::string why =
+            "diverged at stage " + std::to_string(stage) +
+            ": snapshot digest " + digest + " != logged " +
+            replay.marks[nextMark].digest;
+        if (policy == RecoveryPolicy::Strict) {
+          throw adpm::Error("operation log '" + logPath + "' " + why);
+        }
+        diverged = true;
+        result.salvaged = true;
+        result.reason = result.reason.empty() ? why : result.reason + "; " + why;
+        break;
       }
+      lastVerifiedStage = stage;
+      lastVerifiedOffset = replay.marks[nextMark].endOffset;
       ++nextMark;
     }
   }
-  // Remember the seal so a recover → destroy cycle does not keep appending
-  // duplicate marks for the same final stage.
-  if (!replay.marks.empty() && replay.marks.back().stage == stage) {
-    session->lastMarkStage_ = stage;
+
+  std::size_t truncateTo = replay.goodEndOffset;
+  if (diverged) {
+    // δ cannot be un-applied, so rolling back to the last record whose
+    // replay matched a snapshot mark means rebuilding from scratch; the
+    // already-verified prefix re-verifies by determinism.
+    keepOps = lastVerifiedStage;
+    truncateTo = lastVerifiedOffset;
+    session = makeSession();
+    for (std::size_t i = 0; i < keepOps; ++i) {
+      session->replayApply(dpm::Operation(replay.operations[i]));
+    }
   }
+  result.keptStage = keepOps;
+  result.droppedOperations = replay.operations.size() - keepOps;
+
+  if (result.salvaged) {
+    // Trim the untrusted tail *before* reopening for append, so the next
+    // record lands right after the last trusted one.
+    std::error_code ec;
+    std::filesystem::resize_file(logPath, truncateTo, ec);
+    if (ec) {
+      throw adpm::Error("cannot truncate salvaged operation log '" + logPath +
+                        "' to offset " + std::to_string(truncateTo) + ": " +
+                        ec.message());
+    }
+  }
+  // Reopen in append mode *without* re-writing the header; the recovered
+  // session continues the same log.
+  session->attachLog(std::make_unique<OperationLog>(logPath, options.walSync));
+
+  // Remember the seal so a recover → destroy cycle does not keep appending
+  // duplicate marks for the same final stage.  After a rollback the log now
+  // ends exactly at a verified mark.
+  if (diverged ? keepOps > 0
+               : (!replay.marks.empty() && replay.marks.back().stage == stage)) {
+    session->lastMarkStage_ = keepOps;
+  }
+  if (outcome != nullptr) *outcome = std::move(result);
   return session;
 }
 

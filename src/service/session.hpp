@@ -38,6 +38,21 @@ struct SessionSnapshot {
   std::string digest;
 };
 
+/// What RecoveryPolicy::Salvage had to give up to reopen a session.
+struct SalvageOutcome {
+  /// True when anything was dropped or truncated (tail trim or rollback).
+  bool salvaged = false;
+  /// Operations surviving in the reopened session.
+  std::size_t keptStage = 0;
+  /// Journaled operations that had to be dropped (torn tail + any rollback
+  /// to the last verified snapshot mark).
+  std::size_t droppedOperations = 0;
+  /// Untrusted bytes trimmed off the log file.
+  std::size_t droppedBytes = 0;
+  /// The structural error or digest divergence that forced the salvage.
+  std::string reason;
+};
+
 class Session {
  public:
   struct Options {
@@ -105,7 +120,13 @@ class Session {
 
  private:
   friend std::unique_ptr<Session> recoverSession(const std::string& logPath,
-                                                 Options options);
+                                                 Options options,
+                                                 RecoveryPolicy policy,
+                                                 SalvageOutcome* outcome);
+
+  /// Attaches the (already positioned) log a recovered session continues
+  /// appending to; recovery only, after the replay is complete.
+  void attachLog(std::unique_ptr<OperationLog> log) { log_ = std::move(log); }
 
   dpm::DesignProcessManager::ExecResult applyImpl(dpm::Operation op,
                                                   bool journal);
@@ -126,9 +147,19 @@ std::string snapshotText(const dpm::DesignProcessManager& dpm);
 
 /// Rebuilds a session from its operation log: parses the embedded DDDL,
 /// replays every operation, and re-derives + checks every snapshot mark.
-/// The returned session keeps appending to the same log file.  Throws
-/// adpm::Error on divergence (digest mismatch) or malformed logs.
-std::unique_ptr<Session> recoverSession(const std::string& logPath,
-                                        Session::Options options = {});
+/// The returned session keeps appending to the same log file.
+///
+/// Under RecoveryPolicy::Strict (default) throws adpm::Error on divergence
+/// (digest mismatch) or malformed logs.  Under Salvage, damage behind the
+/// header is repaired instead of fatal: a torn/corrupt tail is trimmed to
+/// the last intact record, and a digest divergence rolls the session back
+/// to the last record whose replay matched a snapshot mark — the log file
+/// is truncated to match, the session reopens there, and `outcome` (when
+/// non-null) reports exactly what was dropped.  A missing/corrupt header
+/// still throws: with no trustworthy scenario there is nothing to salvage.
+std::unique_ptr<Session> recoverSession(
+    const std::string& logPath, Session::Options options = {},
+    RecoveryPolicy policy = RecoveryPolicy::Strict,
+    SalvageOutcome* outcome = nullptr);
 
 }  // namespace adpm::service

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <thread>
 
 #include "dddl/writer.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace adpm::service {
 
@@ -24,6 +26,7 @@ SessionStore::SessionStore() : SessionStore(Options{}) {}
 
 SessionStore::SessionStore(Options options)
     : options_(std::move(options)),
+      retryRng_(options_.command.jitterSeed),
       bus_(options_.bus),
       executor_(options_.executor) {
   if (!options_.walDir.empty()) {
@@ -44,6 +47,10 @@ std::string SessionStore::walPathOf(const std::string& id) const {
 
 void SessionStore::open(const std::string& id, const dpm::ScenarioSpec& spec,
                         bool adpm) {
+  if (ADPM_FAULT_POINT("store.open") != util::FaultAction::None) {
+    throw adpm::FaultInjectedError("injected failure opening session '" + id +
+                                   "'");
+  }
   if (!safeId(id)) {
     throw adpm::InvalidArgumentError("session id '" + id +
                                      "' is not filesystem-safe");
@@ -85,9 +92,11 @@ void SessionStore::open(const std::string& id, const dpm::ScenarioSpec& spec,
 std::vector<std::string> SessionStore::recover() {
   std::vector<std::string> recovered;
   std::vector<std::string> errors;
+  std::vector<RecoveryEvent> events;
   if (options_.walDir.empty()) {
     std::lock_guard<std::mutex> lock(mutex_);
     recoverErrors_.clear();
+    recoverEvents_.clear();
     return recovered;
   }
 
@@ -104,25 +113,86 @@ std::vector<std::string> SessionStore::recover() {
     // One bad log (corrupt, diverged, id raced in) must not abort recovery
     // of the remaining files; it is skipped and reported instead.
     try {
-      std::unique_ptr<Session> session =
-          recoverSession(path.string(), options_.session);
+      if (ADPM_FAULT_POINT("store.recover") != util::FaultAction::None) {
+        throw adpm::FaultInjectedError("injected failure recovering '" +
+                                       path.string() + "'");
+      }
+      SalvageOutcome salvage;
+      std::unique_ptr<Session> session = recoverSession(
+          path.string(), options_.session, options_.recovery, &salvage);
       std::string id = session->id();
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (sessions_.contains(id)) continue;  // already live, skip the log
-      adoptLocked(id, std::move(session));
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (sessions_.contains(id)) continue;  // already live, skip the log
+        adoptLocked(id, std::move(session));
+      }
       recovered.push_back(std::move(id));
+      if (salvage.salvaged) {
+        RecoveryEvent event;
+        event.path = path.string();
+        event.detail = salvage.reason;
+        event.salvaged = true;
+        event.keptStage = salvage.keptStage;
+        event.droppedOperations = salvage.droppedOperations;
+        event.droppedBytes = salvage.droppedBytes;
+        events.push_back(std::move(event));
+      }
     } catch (const adpm::Error& e) {
       errors.push_back(path.string() + ": " + e.what());
+      RecoveryEvent event;
+      event.path = path.string();
+      event.detail = e.what();
+      event.sessionLost = true;
+      events.push_back(std::move(event));
     }
   }
   std::lock_guard<std::mutex> lock(mutex_);
   recoverErrors_ = std::move(errors);
+  recoverEvents_ = std::move(events);
   return recovered;
 }
 
 std::vector<std::string> SessionStore::recoverErrors() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return recoverErrors_;
+}
+
+std::vector<RecoveryEvent> SessionStore::recoverReport() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recoverEvents_;
+}
+
+void SessionStore::backoffBeforeRetry(unsigned attempt) {
+  const CommandPolicy& policy = options_.command;
+  double micros = static_cast<double>(policy.backoffBase.count());
+  for (unsigned i = 1; i < attempt; ++i) micros *= 2.0;
+  micros = std::min(micros, static_cast<double>(policy.backoffCap.count()));
+  double factor = 1.0;
+  {
+    std::lock_guard<std::mutex> lock(retryMutex_);
+    ++retries_;
+    if (policy.jitter > 0.0) {
+      factor = retryRng_.uniform(1.0 - policy.jitter, 1.0 + policy.jitter);
+    }
+  }
+  const auto delay =
+      std::chrono::microseconds(static_cast<std::int64_t>(micros * factor));
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+}
+
+void SessionStore::noteTimeout() {
+  std::lock_guard<std::mutex> lock(retryMutex_);
+  ++timeouts_;
+}
+
+std::size_t SessionStore::retries() const {
+  std::lock_guard<std::mutex> lock(retryMutex_);
+  return retries_;
+}
+
+std::size_t SessionStore::timeouts() const {
+  std::lock_guard<std::mutex> lock(retryMutex_);
+  return timeouts_;
 }
 
 void SessionStore::adoptLocked(const std::string& id,
@@ -181,15 +251,21 @@ bool SessionStore::has(const std::string& id) const {
 
 std::future<dpm::DesignProcessManager::ExecResult>
 SessionStore::applyOperation(const std::string& id, dpm::Operation op) {
-  return withSession(id, [op = std::move(op)](Session& session) mutable {
-    return session.apply(std::move(op));
+  // The lambda keeps ownership of `op` and applies a *copy* per attempt, so
+  // a TransientError retry replays the identical operation.
+  return submit(id, "applyOperation", [op = std::move(op)](Session& session) {
+    if (ADPM_FAULT_POINT("store.apply") != util::FaultAction::None) {
+      throw adpm::FaultInjectedError("injected failure applying operation");
+    }
+    return session.apply(dpm::Operation(op));
   });
 }
 
 std::future<std::optional<constraint::GuidanceReport>>
 SessionStore::queryGuidance(const std::string& id) {
-  return withSession(
-      id, [](Session& session) -> std::optional<constraint::GuidanceReport> {
+  return submit(
+      id, "queryGuidance",
+      [](Session& session) -> std::optional<constraint::GuidanceReport> {
         const constraint::GuidanceReport* g =
             session.manager().latestGuidance();
         if (g == nullptr) return std::nullopt;
@@ -199,11 +275,13 @@ SessionStore::queryGuidance(const std::string& id) {
 
 std::future<Session::VerifyResult> SessionStore::verify(
     const std::string& id) {
-  return withSession(id, [](Session& session) { return session.verify(); });
+  return submit(id, "verify",
+                [](Session& session) { return session.verify(); });
 }
 
 std::future<SessionSnapshot> SessionStore::snapshot(const std::string& id) {
-  return withSession(id, [](Session& session) { return session.snapshot(); });
+  return submit(id, "snapshot",
+                [](Session& session) { return session.snapshot(); });
 }
 
 std::shared_ptr<NotificationBus::Queue> SessionStore::subscribe(

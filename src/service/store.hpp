@@ -23,6 +23,7 @@
 // submission order) — the mode the bit-stable replay tests run under.
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <future>
 #include <map>
@@ -35,9 +36,48 @@
 
 #include "service/bus.hpp"
 #include "service/session.hpp"
+#include "util/error.hpp"
 #include "util/executor.hpp"
+#include "util/rng.hpp"
 
 namespace adpm::service {
+
+/// Resilience knobs for the typed command API (applyOperation,
+/// queryGuidance, verify, snapshot).  Defaults are the pre-existing
+/// behaviour: no deadline, no retry.
+struct CommandPolicy {
+  /// Longest a command may spend *queued* on its session's strand; when the
+  /// strand finally dequeues an expired command, the future fails with
+  /// TimeoutError and the command is NOT executed.  This is admission
+  /// control (an overloaded session sheds stale work), not preemption — a
+  /// running command is never interrupted.  0 = no deadline.
+  std::chrono::milliseconds timeout{0};
+  /// Total attempts for a command failing with TransientError (WAL append
+  /// rolled back, injected fault, ...); 1 = no retry.  Non-transient errors
+  /// never retry.
+  unsigned maxAttempts = 1;
+  /// Backoff before retry k (1-based) is base·2^(k-1) capped at `backoffCap`,
+  /// stretched by a jitter factor in [1-jitter, 1+jitter].
+  std::chrono::microseconds backoffBase{200};
+  std::chrono::microseconds backoffCap{50000};
+  double jitter = 0.5;
+  /// Jitter stream seed — retries are reproducible like everything else.
+  std::uint64_t jitterSeed = 0x5eed;
+};
+
+/// One recover() decision about one log file.
+struct RecoveryEvent {
+  std::string path;
+  /// The error (sessionLost) or what salvage had to drop.
+  std::string detail;
+  /// The whole log was refused; no session was rebuilt from it.
+  bool sessionLost = false;
+  /// Salvage trimmed/rolled back the log but reopened the session.
+  bool salvaged = false;
+  std::size_t keptStage = 0;
+  std::size_t droppedOperations = 0;
+  std::size_t droppedBytes = 0;
+};
 
 class SessionStore {
  public:
@@ -45,9 +85,13 @@ class SessionStore {
     util::Executor::Options executor{};
     NotificationBus::Options bus{};
     Session::Options session{};
+    CommandPolicy command{};
     /// Directory for per-session operation logs ("<id>.wal"); empty =
     /// volatile sessions (no journal, no recovery).
     std::string walDir;
+    /// How recover() treats damaged logs: Strict refuses them whole,
+    /// Salvage reopens the longest trustworthy prefix (see wal.hpp).
+    RecoveryPolicy recovery = RecoveryPolicy::Strict;
   };
 
   SessionStore();
@@ -76,6 +120,10 @@ class SessionStore {
   /// "<path>: <reason>" for every log the most recent recover() skipped.
   std::vector<std::string> recoverErrors() const;
 
+  /// Everything notable the most recent recover() did: logs refused
+  /// (sessionLost) and logs salvage had to trim or roll back.
+  std::vector<RecoveryEvent> recoverReport() const;
+
   /// Closes a session: waits for its queued commands, closes its
   /// notification queues, and forgets it.  The WAL file stays on disk.
   void close(const std::string& id);
@@ -101,7 +149,8 @@ class SessionStore {
       const std::string& id, const std::string& designer);
 
   /// Escape hatch for drivers (load generator, CLI): runs `fn` with
-  /// exclusive access to the session on its strand.
+  /// exclusive access to the session on its strand.  Bypasses the command
+  /// policy — no deadline, no retry.
   template <typename F>
   auto withSession(const std::string& id, F fn)
       -> std::future<std::invoke_result_t<F&, Session&>> {
@@ -113,6 +162,11 @@ class SessionStore {
     entry->strand->post([task] { (*task)(); });
     return future;
   }
+
+  /// TransientError retries performed by the command policy (monotonic).
+  std::size_t retries() const;
+  /// Commands shed by the queued-too-long deadline (monotonic).
+  std::size_t timeouts() const;
 
   /// Blocks until every queued command (across all sessions) has run.
   void drain() { executor_.drain(); }
@@ -132,10 +186,54 @@ class SessionStore {
   void adoptLocked(const std::string& id, std::unique_ptr<Session> session);
   std::string walPathOf(const std::string& id) const;
 
+  /// Sleeps the policy backoff before retry `attempt` (1-based), with
+  /// deterministic jitter from the store's seeded stream.
+  void backoffBeforeRetry(unsigned attempt);
+
+  /// Typed-command wrapper around withSession: applies the store's command
+  /// policy — queue-time deadline (TimeoutError) and capped exponential
+  /// retry-with-jitter for TransientError — on the session's strand.
+  template <typename F>
+  auto submit(const std::string& id, const char* what, F fn)
+      -> std::future<std::invoke_result_t<F&, Session&>> {
+    using R = std::invoke_result_t<F&, Session&>;
+    std::shared_ptr<Entry> entry = entryOf(id);
+    const auto posted = std::chrono::steady_clock::now();
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [this, entry, fn = std::move(fn), posted, what, id]() mutable -> R {
+          const CommandPolicy& policy = options_.command;
+          if (policy.timeout.count() > 0 &&
+              std::chrono::steady_clock::now() - posted >= policy.timeout) {
+            noteTimeout();
+            throw adpm::TimeoutError("command '" + std::string(what) +
+                                     "' on session '" + id +
+                                     "' exceeded its deadline while queued");
+          }
+          for (unsigned attempt = 1;; ++attempt) {
+            try {
+              return fn(*entry->session);
+            } catch (const adpm::TransientError&) {
+              if (attempt >= policy.maxAttempts) throw;
+              backoffBeforeRetry(attempt);
+            }
+          }
+        });
+    std::future<R> future = task->get_future();
+    entry->strand->post([task] { (*task)(); });
+    return future;
+  }
+
+  void noteTimeout();
+
   Options options_;
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<Entry>> sessions_;
   std::vector<std::string> recoverErrors_;
+  std::vector<RecoveryEvent> recoverEvents_;
+  mutable std::mutex retryMutex_;
+  util::Rng retryRng_{0};
+  std::size_t retries_ = 0;
+  std::size_t timeouts_ = 0;
   NotificationBus bus_;
   /// Last member: its destructor drains/joins while sessions and bus are
   /// still alive for in-flight strand tasks.

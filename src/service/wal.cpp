@@ -1,27 +1,67 @@
 #include "service/wal.hpp"
 
+#include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <string_view>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <unistd.h>
-#define ADPM_WAL_HAS_FSYNC 1
+#define ADPM_WAL_POSIX 1
 #else
-#define ADPM_WAL_HAS_FSYNC 0
+#define ADPM_WAL_POSIX 0
 #endif
 
 #include "dpm/operation_io.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/json.hpp"
+#include "util/strings.hpp"
 
 namespace adpm::service {
 
+namespace {
+
+#if ADPM_WAL_POSIX
+// Creating a file makes an entry in the parent directory's inode; fsyncing
+// the file alone does not persist that entry.  Called once, when an
+// OperationLog creates its file in sync mode, so a machine crash right after
+// open() cannot forget the session's log existed.
+void fsyncParentDir(const std::string& path) {
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+#endif
+
+}  // namespace
+
 OperationLog::OperationLog(std::string path, bool sync)
-    : path_(std::move(path)),
-      sync_(sync),
-      out_(std::fopen(path_.c_str(), "a")) {
+    : path_(std::move(path)), sync_(sync) {
+  if (ADPM_FAULT_POINT("wal.open") != util::FaultAction::None) {
+    throw adpm::FaultInjectedError("injected failure opening operation log '" +
+                                   path_ + "'");
+  }
+  const bool existed = std::filesystem::exists(path_);
+  out_ = std::fopen(path_.c_str(), "a");
   if (out_ == nullptr) {
     throw adpm::Error("cannot open operation log '" + path_ + "'");
   }
+  // "a" leaves the initial stream position implementation-defined; pin the
+  // durable-tail offset to the real end of file.
+  std::fseek(out_, 0, SEEK_END);
+  const long at = std::ftell(out_);
+  tail_ = at > 0 ? static_cast<std::size_t>(at) : 0;
+#if ADPM_WAL_POSIX
+  if (!existed && sync_) fsyncParentDir(path_);
+#else
+  (void)existed;
+#endif
 }
 
 OperationLog::~OperationLog() {
@@ -29,25 +69,89 @@ OperationLog::~OperationLog() {
 }
 
 void OperationLog::appendLine(const std::string& line) {
-  const bool ok =
-      std::fwrite(line.data(), 1, line.size(), out_) == line.size() &&
-      std::fputc('\n', out_) != EOF &&
-      std::fflush(out_) == 0;
-  if (!ok) {
-    throw adpm::Error("short write to operation log '" + path_ + "'");
+  if (poisoned_) {
+    throw adpm::Error("operation log '" + path_ +
+                      "' is poisoned by an earlier torn write");
   }
+  switch (ADPM_FAULT_POINT("wal.append")) {
+    case util::FaultAction::Error:
+      // Fails before any byte lands: the cleanest transient failure.
+      throw adpm::FaultInjectedError(
+          "injected failure appending to operation log '" + path_ + "'");
+    case util::FaultAction::ShortWrite: {
+      // Persist a *prefix* of the record and give up — the torn tail a real
+      // crash mid-write leaves.  No rollback (that is the point), so the
+      // log poisons itself against further appends.
+      const std::size_t cut = line.size() / 2 + 1;
+      std::fwrite(line.data(), 1, cut, out_);
+      std::fflush(out_);
+      poisoned_ = true;
+      throw adpm::Error("injected short write tore operation log '" + path_ +
+                        "' at offset " + std::to_string(tail_ + cut));
+    }
+    default:
+      break;
+  }
+
+  bool ok = std::fwrite(line.data(), 1, line.size(), out_) == line.size() &&
+            std::fputc('\n', out_) != EOF;
   // fflush hands the record to the OS: a *process* crash now loses at most
   // the record being appended, but an OS crash or power loss may still drop
   // acknowledged records.  sync_ upgrades the guarantee to storage
   // durability with one fsync per record.
+  ok = ok && ADPM_FAULT_POINT("wal.flush") == util::FaultAction::None &&
+       std::fflush(out_) == 0;
+  if (!ok) {
+    // Roll the file back to the last durable record so the append is
+    // all-or-nothing: reopen (the FILE buffer may hold half the record) and
+    // truncate.  Success makes the failure retryable; failure poisons the
+    // log — appending after an un-rolled-back tear would interleave
+    // garbage into the tail.
+    std::fclose(out_);
+    out_ = nullptr;
+    bool rolledBack = false;
+#if ADPM_WAL_POSIX
+    rolledBack = ::truncate(path_.c_str(), static_cast<off_t>(tail_)) == 0;
+#endif
+    out_ = std::fopen(path_.c_str(), "a");
+    if (rolledBack && out_ != nullptr) {
+      throw adpm::TransientError("write to operation log '" + path_ +
+                                 "' failed; rolled back to last durable "
+                                 "record (offset " +
+                                 std::to_string(tail_) + ")");
+    }
+    poisoned_ = true;
+    throw adpm::Error("write to operation log '" + path_ +
+                      "' failed and could not be rolled back");
+  }
   if (sync_) {
-#if ADPM_WAL_HAS_FSYNC
-    if (::fsync(::fileno(out_)) != 0) {
+    // A failed fsync leaves the page-cache state unknowable (the kernel may
+    // have dropped the dirty pages), so the error is *not* retryable:
+    // poison the log instead of pretending a retry could re-durable it.
+    const bool injected =
+        ADPM_FAULT_POINT("wal.fsync") != util::FaultAction::None;
+#if ADPM_WAL_POSIX
+    if (injected || ::fsync(::fileno(out_)) != 0) {
+#else
+    if (injected) {
+#endif
+      poisoned_ = true;
       throw adpm::Error("fsync failed on operation log '" + path_ + "'");
     }
-#endif
   }
+  tail_ += line.size() + 1;
   ++written_;
+}
+
+void OperationLog::appendRecord(const std::string& base) {
+  // base is the canonical serialization without the crc member; the crc is
+  // spliced in as the final member so a reader can strip it and re-serialize
+  // the remaining members (insertion order is preserved) to verify.
+  std::string line = base.substr(0, base.size() - 1);
+  line += ",\"crc\":\"";
+  line += util::fnv1a64Hex(base);
+  line += "\"}";
+  appendLine(line);
 }
 
 void OperationLog::appendOpen(const SessionConfig& config) {
@@ -58,14 +162,14 @@ void OperationLog::appendOpen(const SessionConfig& config) {
   v.set("adpm", config.adpm);
   v.set("scenario", config.scenarioName);
   v.set("dddl", config.scenarioDddl);
-  appendLine(util::json::serialize(v));
+  appendRecord(util::json::serialize(v));
 }
 
 void OperationLog::appendOperation(const dpm::Operation& op) {
   util::json::Value v{util::json::Object{}};
   v.set("t", "op");
   v.set("op", dpm::operationToJson(op));
-  appendLine(util::json::serialize(v));
+  appendRecord(util::json::serialize(v));
 }
 
 void OperationLog::appendMark(std::size_t stage, const std::string& digest) {
@@ -73,64 +177,146 @@ void OperationLog::appendMark(std::size_t stage, const std::string& digest) {
   v.set("t", "mark");
   v.set("stage", stage);
   v.set("digest", digest);
-  appendLine(util::json::serialize(v));
+  appendRecord(util::json::serialize(v));
 }
 
-OperationLog::Replay OperationLog::read(const std::string& path) {
-  std::ifstream in(path);
+OperationLog::Replay OperationLog::read(const std::string& path,
+                                        RecoveryPolicy policy) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw adpm::Error("cannot read operation log '" + path + "'");
   }
+  const std::string content{std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>()};
 
   Replay replay;
   bool sawOpen = false;
-  std::string line;
   std::size_t lineNo = 0;
-  while (std::getline(in, line)) {
+  std::size_t pos = 0;
+
+  while (pos < content.size()) {
+    const std::size_t nl = content.find('\n', pos);
     ++lineNo;
-    if (line.empty()) continue;
+    std::string err;
     util::json::Value v;
-    try {
-      v = util::json::parse(line);
-    } catch (const adpm::Error& e) {
-      throw adpm::Error("operation log '" + path + "' line " +
-                        std::to_string(lineNo) + ": " + e.what());
+    std::string type;
+
+    if (nl == std::string::npos) {
+      // A record the writer never finished (the '\n' lands last).  Even if
+      // the bytes happen to parse, appending after it would concatenate
+      // records, so it is torn by definition.
+      err = "line " + std::to_string(lineNo) + " is torn (no newline)";
+      pos = content.size();
+    } else {
+      const std::string_view line(content.data() + pos, nl - pos);
+      pos = nl + 1;
+      if (line.empty()) {
+        replay.goodEndOffset = pos;
+        continue;
+      }
+      try {
+        v = util::json::parse(line);
+      } catch (const adpm::Error& e) {
+        err = "line " + std::to_string(lineNo) + ": " + e.what();
+      }
+      if (err.empty()) {
+        if (const util::json::Value* crc = v.find("crc")) {
+          if (crc->kind() != util::json::Kind::String) {
+            err = "line " + std::to_string(lineNo) + ": malformed crc field";
+          } else {
+            util::json::Object stripped;
+            for (const auto& [key, member] : v.asObject()) {
+              if (key != "crc") stripped.emplace_back(key, member);
+            }
+            const std::string base =
+                util::json::serialize(util::json::Value{std::move(stripped)});
+            if (util::fnv1a64Hex(base) != crc->asString()) {
+              err = "line " + std::to_string(lineNo) +
+                    ": checksum mismatch (record is corrupt)";
+            }
+          }
+        }
+      }
+      if (err.empty()) {
+        const util::json::Value* t = v.find("t");
+        if (t == nullptr || t->kind() != util::json::Kind::String) {
+          err = "line " + std::to_string(lineNo) + ": record without a type";
+        } else {
+          type = t->asString();
+        }
+      }
     }
-    const std::string& type = v.at("t").asString();
-    if (type == "open") {
+
+    if (err.empty() && type == "open") {
       if (sawOpen) {
-        throw adpm::Error("operation log '" + path + "' has two headers");
+        err = "line " + std::to_string(lineNo) + ": second header";
+      } else {
+        // Header problems are unrecoverable under either policy — with no
+        // trustworthy (id, scenario) there is nothing to salvage.
+        const int version = static_cast<int>(v.at("v").asNumber());
+        if (version != kVersion) {
+          throw adpm::Error("operation log '" + path +
+                            "' has unsupported version " +
+                            std::to_string(version));
+        }
+        try {
+          replay.config.id = v.at("session").asString();
+          replay.config.adpm = v.at("adpm").asBool();
+          replay.config.scenarioName = v.at("scenario").asString();
+          replay.config.scenarioDddl = v.at("dddl").asString();
+        } catch (const adpm::Error& e) {
+          throw adpm::Error("operation log '" + path + "' has a malformed "
+                            "header: " + e.what());
+        }
+        sawOpen = true;
+        replay.headerEndOffset = pos;
+        replay.goodEndOffset = pos;
+        continue;
       }
-      const int version = static_cast<int>(v.at("v").asNumber());
-      if (version != kVersion) {
-        throw adpm::Error("operation log '" + path +
-                          "' has unsupported version " +
-                          std::to_string(version));
-      }
-      replay.config.id = v.at("session").asString();
-      replay.config.adpm = v.at("adpm").asBool();
-      replay.config.scenarioName = v.at("scenario").asString();
-      replay.config.scenarioDddl = v.at("dddl").asString();
-      sawOpen = true;
-      continue;
     }
-    if (!sawOpen) {
+    if (err.empty() && !sawOpen) {
       throw adpm::Error("operation log '" + path +
                         "' has records before the header");
     }
-    if (type == "op") {
-      replay.operations.push_back(dpm::operationFromJson(v.at("op")));
-    } else if (type == "mark") {
-      Mark mark;
-      mark.stage = static_cast<std::size_t>(v.at("stage").asNumber());
-      mark.digest = v.at("digest").asString();
-      replay.marks.push_back(std::move(mark));
-    } else {
-      throw adpm::Error("operation log '" + path + "' line " +
-                        std::to_string(lineNo) + ": unknown record type '" +
-                        type + "'");
+    if (err.empty()) {
+      if (type == "op") {
+        try {
+          replay.operations.push_back(dpm::operationFromJson(v.at("op")));
+          replay.opEndOffsets.push_back(pos);
+        } catch (const adpm::Error& e) {
+          err = "line " + std::to_string(lineNo) + ": " + e.what();
+        }
+      } else if (type == "mark") {
+        try {
+          Mark mark;
+          mark.stage = static_cast<std::size_t>(v.at("stage").asNumber());
+          mark.digest = v.at("digest").asString();
+          mark.endOffset = pos;
+          replay.marks.push_back(std::move(mark));
+        } catch (const adpm::Error& e) {
+          err = "line " + std::to_string(lineNo) + ": " + e.what();
+        }
+      } else {
+        err = "line " + std::to_string(lineNo) + ": unknown record type '" +
+              type + "'";
+      }
     }
+
+    if (!err.empty()) {
+      if (policy == RecoveryPolicy::Strict || !sawOpen) {
+        throw adpm::Error("operation log '" + path + "': " + err);
+      }
+      // Salvage: keep the intact prefix, drop this record and everything
+      // after it — past a torn/corrupt record the operation *sequence* can
+      // no longer be trusted, and replay needs the exact prefix.
+      replay.truncatedTail = true;
+      replay.droppedBytes = content.size() - replay.goodEndOffset;
+      replay.tailError = err;
+      break;
+    }
+    replay.goodEndOffset = pos;
   }
+
   if (!sawOpen) {
     throw adpm::Error("operation log '" + path + "' has no header");
   }

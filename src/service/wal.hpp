@@ -10,15 +10,34 @@
 // that might resolve differently tomorrow.
 //
 // Record grammar, one canonical JSON object per line (util/json.hpp):
-//   {"t":"open","v":1,"session":ID,"adpm":BOOL,"scenario":NAME,"dddl":TEXT}
-//   {"t":"op","op":{...}}                      (dpm/operation_io.hpp form)
-//   {"t":"mark","stage":N,"digest":HEX}        (periodic snapshot digest)
+//   {"t":"open","v":1,"session":ID,"adpm":BOOL,"scenario":NAME,"dddl":TEXT,
+//    "crc":HEX}
+//   {"t":"op","op":{...},"crc":HEX}            (dpm/operation_io.hpp form)
+//   {"t":"mark","stage":N,"digest":HEX,"crc":HEX}
+// `crc` is the fnv1a-64 (16 hex digits) of the record's canonical
+// serialization *without* the crc member — a bit-flip anywhere in the line
+// is detected at read time.  Records without a crc member (logs written
+// before the field existed) are accepted unverified.
 // `mark` records carry the fnv1a-64 digest of the session's canonical
 // snapshot text at stage N; replay re-derives the digest at each mark and
 // fails loudly on divergence instead of silently resurrecting a corrupt
 // session.
+//
+// Failure handling on the append path: when a write/flush fails midway the
+// log rolls the file back (ftruncate) to the last durable record and throws
+// TransientError — the record either exists completely or not at all, so a
+// store-level retry cannot produce a half-record followed by its retry.  If
+// the rollback itself fails the log is poisoned (every further append
+// throws) rather than risking interleaved garbage.
+//
+// Reading is policy-driven: RecoveryPolicy::Strict (default) throws on any
+// structural problem; RecoveryPolicy::Salvage stops at the first torn or
+// corrupt record, keeps the intact prefix, and reports what was dropped —
+// the crash-recovery mode (a killed process legitimately leaves a torn
+// tail, and refusing the whole log would lose the session entirely).
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -38,6 +57,18 @@ struct SessionConfig {
   std::string scenarioDddl;
 };
 
+/// How log damage is handled at read/recover time.
+enum class RecoveryPolicy : std::uint8_t {
+  /// Any structural problem (torn tail, checksum mismatch, digest
+  /// divergence) refuses the log.
+  Strict,
+  /// Keep the longest trustworthy prefix: a torn/corrupt record drops it
+  /// and everything after; a snapshot-digest divergence rolls back to the
+  /// last record whose replay matched a mark.  What was dropped is
+  /// reported, never silently discarded.
+  Salvage,
+};
+
 class OperationLog {
  public:
   static constexpr int kVersion = 1;
@@ -48,7 +79,10 @@ class OperationLog {
   /// Every appended record is flushed to the OS, which survives a *process*
   /// crash; with `sync` set each record is additionally fsync'd, extending
   /// the guarantee to OS crashes and power loss at the cost of one fsync
-  /// per record.
+  /// per record.  `sync` also fsyncs the parent directory when the call
+  /// creates the file — a fresh file's *name* lives in the directory inode,
+  /// and without the directory fsync a crash can forget the file entirely
+  /// even though its records were synced.
   explicit OperationLog(std::string path, bool sync = false);
   ~OperationLog();
 
@@ -67,9 +101,15 @@ class OperationLog {
   /// Records appended since construction (not counting recovered lines).
   std::size_t recordsWritten() const noexcept { return written_; }
 
+  /// Byte offset of the end of the last durable record (== file size while
+  /// the log is healthy).
+  std::size_t tailOffset() const noexcept { return tail_; }
+
   struct Mark {
     std::size_t stage = 0;
     std::string digest;
+    /// Byte offset just past this record's line in the file.
+    std::size_t endOffset = 0;
   };
 
   /// Parsed image of a log file.
@@ -79,19 +119,44 @@ class OperationLog {
     /// Marks in file order; mark.stage == number of operations applied when
     /// the digest was taken.
     std::vector<Mark> marks;
+
+    /// Byte offset just past the header record.
+    std::size_t headerEndOffset = 0;
+    /// Byte offset just past operations[i]'s record.
+    std::vector<std::size_t> opEndOffsets;
+    /// Byte offset just past the last record that parsed and checksummed
+    /// clean (== file size when the log is intact).
+    std::size_t goodEndOffset = 0;
+
+    // -- salvage outcome (Salvage policy only) --------------------------------
+    /// True when a torn/corrupt tail was dropped during the read.
+    bool truncatedTail = false;
+    /// Bytes past goodEndOffset that were not trusted.
+    std::size_t droppedBytes = 0;
+    /// Why the tail was dropped (first structural error encountered).
+    std::string tailError;
   };
 
   /// Reads and validates a log file (header first, kVersion, well-formed
-  /// records).  Throws adpm::Error on structural problems.
-  static Replay read(const std::string& path);
+  /// records, per-record checksums).  Strict policy throws adpm::Error on
+  /// any structural problem; Salvage stops at the first bad record and
+  /// returns the intact prefix with the salvage fields filled in.  A
+  /// missing or corrupt *header* is unrecoverable under either policy.
+  static Replay read(const std::string& path,
+                     RecoveryPolicy policy = RecoveryPolicy::Strict);
 
  private:
+  void appendRecord(const std::string& base);
   void appendLine(const std::string& line);
 
   std::string path_;
   bool sync_ = false;
   std::FILE* out_ = nullptr;
   std::size_t written_ = 0;
+  std::size_t tail_ = 0;
+  /// Set when a failed append could not be rolled back: the file may end in
+  /// a torn record, so further appends would interleave garbage.
+  bool poisoned_ = false;
 };
 
 }  // namespace adpm::service

@@ -22,6 +22,28 @@ class InvalidArgumentError : public Error {
   explicit InvalidArgumentError(const std::string& what) : Error(what) {}
 };
 
+/// A failure that is expected to be momentary (contended resource, injected
+/// fault, interrupted write that was rolled back); callers with a retry
+/// policy may safely re-issue the command.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
+/// A command spent longer than its deadline waiting to run; the command was
+/// NOT executed (deadlines are admission control, not preemption).
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown by an armed failpoint (util/fault.hpp).  Transient by definition:
+/// the fault plan decides whether the retry fires it again.
+class FaultInjectedError : public TransientError {
+ public:
+  explicit FaultInjectedError(const std::string& what) : TransientError(what) {}
+};
+
 /// A DDDL source file failed to lex/parse/validate.
 class ParseError : public Error {
  public:

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
 namespace adpm::util {
 
 Executor::Executor() : Executor(Options{}) {}
@@ -34,6 +37,11 @@ Executor::~Executor() {
 }
 
 void Executor::post(std::function<void()> task) {
+  if (ADPM_FAULT_POINT("executor.post") != FaultAction::None) {
+    // Fails the submission itself — the task is never queued, so callers
+    // holding its future see a broken_promise-free, typed rejection.
+    throw adpm::FaultInjectedError("injected failure posting task");
+  }
   if (options_.deterministic) {
     task();
     return;
@@ -67,6 +75,10 @@ void Executor::workerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Dispatch probe: a worker cannot "fail" to run a dequeued task, so only
+    // Delay (stall a worker) and Abort (die mid-dispatch) are meaningful
+    // here; Error/ShortWrite results are ignored.
+    (void)ADPM_FAULT_POINT("executor.dispatch");
     task();
   }
 }
@@ -87,6 +99,9 @@ std::shared_ptr<Executor::Strand> Executor::makeStrand() {
 }
 
 void Executor::Strand::post(std::function<void()> task) {
+  if (ADPM_FAULT_POINT("executor.post") != FaultAction::None) {
+    throw adpm::FaultInjectedError("injected failure posting task");
+  }
   if (executor_.options_.deterministic) {
     bool drainHere = false;
     {
@@ -137,6 +152,7 @@ void Executor::Strand::runOne() {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
+  (void)ADPM_FAULT_POINT("executor.dispatch");  // Delay/Abort only (see above)
   task();
 
   // Reschedule (or go idle) *before* retiring the task from the executor's

@@ -1,0 +1,197 @@
+#include "util/fault.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace adpm::util {
+
+const char* faultActionName(FaultAction a) noexcept {
+  switch (a) {
+    case FaultAction::None: return "none";
+    case FaultAction::Error: return "error";
+    case FaultAction::ShortWrite: return "short-write";
+    case FaultAction::Delay: return "delay";
+    case FaultAction::Abort: return "abort";
+  }
+  return "?";
+}
+
+struct FaultRegistry::Impl {
+  struct Point {
+    FaultPlan plan;
+    Rng rng{0};
+    std::uint64_t hits = 0;
+    std::uint64_t fired = 0;
+  };
+
+  /// Lock-free "anything armed at all?" gate: the common case (registry
+  /// compiled in but idle) costs one relaxed load per probe.
+  std::atomic<std::size_t> armedCount{0};
+  mutable std::mutex mutex;
+  std::map<std::string, Point> points;
+};
+
+FaultRegistry::Impl& FaultRegistry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+FaultRegistry& FaultRegistry::instance() {
+  static FaultRegistry registry;
+  return registry;
+}
+
+void FaultRegistry::arm(const std::string& point, FaultPlan plan) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  Impl::Point& p = i.points[point];
+  p.plan = plan;
+  p.rng.reseed(plan.seed);
+  p.hits = 0;
+  p.fired = 0;
+  i.armedCount.store(i.points.size(), std::memory_order_release);
+}
+
+void FaultRegistry::disarm(const std::string& point) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  i.points.erase(point);
+  i.armedCount.store(i.points.size(), std::memory_order_release);
+}
+
+void FaultRegistry::reset() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  i.points.clear();
+  i.armedCount.store(0, std::memory_order_release);
+}
+
+FaultAction FaultRegistry::check(const char* point) {
+  Impl& i = impl();
+  if (i.armedCount.load(std::memory_order_acquire) == 0) {
+    return FaultAction::None;
+  }
+  FaultAction action = FaultAction::None;
+  unsigned delayMicros = 0;
+  {
+    std::lock_guard<std::mutex> lock(i.mutex);
+    const auto it = i.points.find(point);
+    if (it == i.points.end()) return FaultAction::None;
+    Impl::Point& p = it->second;
+    ++p.hits;
+    bool fire = false;
+    if (p.plan.everyNth > 0) {
+      fire = p.hits % p.plan.everyNth == 0;
+    } else {
+      fire = p.rng.chance(p.plan.probability);
+    }
+    if (fire && p.plan.maxFires != 0 && p.fired >= p.plan.maxFires) {
+      fire = false;
+    }
+    if (!fire) return FaultAction::None;
+    ++p.fired;
+    action = p.plan.action;
+    delayMicros = p.plan.delayMicros;
+  }
+  // Act outside the lock: a sleeping or aborting probe must not wedge
+  // concurrent probes (or the abort's own signal handlers) on the mutex.
+  switch (action) {
+    case FaultAction::Delay:
+      std::this_thread::sleep_for(std::chrono::microseconds(delayMicros));
+      return FaultAction::None;
+    case FaultAction::Abort:
+      std::abort();
+    default:
+      return action;
+  }
+}
+
+std::uint64_t FaultRegistry::hits(const std::string& point) const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  const auto it = i.points.find(point);
+  return it == i.points.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultRegistry::fired(const std::string& point) const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  const auto it = i.points.find(point);
+  return it == i.points.end() ? 0 : it->second.fired;
+}
+
+std::vector<std::string> FaultRegistry::armed() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::vector<std::string> out;
+  out.reserve(i.points.size());
+  for (const auto& [name, point] : i.points) out.push_back(name);
+  return out;
+}
+
+void FaultRegistry::armFromSpec(const std::string& spec) {
+  for (const std::string& clauseRaw : split(spec, ';')) {
+    const std::string clause{trim(clauseRaw)};
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw InvalidArgumentError("fault spec clause '" + clause +
+                                 "' is not point=action[:key=value...]");
+    }
+    const std::string point = clause.substr(0, eq);
+    const std::vector<std::string> fields = split(clause.substr(eq + 1), ':');
+    FaultPlan plan;
+    const std::string& actionName = fields[0];
+    if (actionName == "error") {
+      plan.action = FaultAction::Error;
+    } else if (actionName == "short-write" || actionName == "shortwrite") {
+      plan.action = FaultAction::ShortWrite;
+    } else if (actionName == "delay") {
+      plan.action = FaultAction::Delay;
+    } else if (actionName == "abort") {
+      plan.action = FaultAction::Abort;
+    } else {
+      throw InvalidArgumentError("fault spec '" + clause +
+                                 "': unknown action '" + actionName + "'");
+    }
+    for (std::size_t f = 1; f < fields.size(); ++f) {
+      const std::size_t kv = fields[f].find('=');
+      if (kv == std::string::npos) {
+        throw InvalidArgumentError("fault spec '" + clause +
+                                   "': malformed option '" + fields[f] + "'");
+      }
+      const std::string key = fields[f].substr(0, kv);
+      const std::string value = fields[f].substr(kv + 1);
+      try {
+        if (key == "every") {
+          plan.everyNth = std::stoull(value);
+        } else if (key == "p") {
+          plan.probability = std::stod(value);
+        } else if (key == "seed") {
+          plan.seed = std::stoull(value);
+        } else if (key == "max") {
+          plan.maxFires = std::stoull(value);
+        } else if (key == "us") {
+          plan.delayMicros = static_cast<unsigned>(std::stoul(value));
+        } else {
+          throw InvalidArgumentError("fault spec '" + clause +
+                                     "': unknown option '" + key + "'");
+        }
+      } catch (const std::logic_error&) {
+        throw InvalidArgumentError("fault spec '" + clause +
+                                   "': bad value in '" + fields[f] + "'");
+      }
+    }
+    arm(point, plan);
+  }
+}
+
+}  // namespace adpm::util

@@ -1,0 +1,116 @@
+// Deterministic fault injection: named failpoints for torture testing.
+//
+// Robustness claims ("a torn WAL tail is salvaged", "a saturated subscriber
+// degrades instead of blocking the strand") are only as good as the failure
+// scenarios that exercise them.  This registry lets tests and the torture
+// harness arm *named* failpoints compiled into the service hot paths —
+// wal.open/append/flush/fsync, store.open/apply/recover, bus.publish/enqueue,
+// executor.post/dispatch — with deterministic triggers:
+//
+//   * fire on every Nth hit (hit counter per point), or
+//   * fire with probability p from a per-point seeded RNG (util::Rng);
+//
+// and one of four actions:
+//
+//   * Error      — the site throws FaultInjectedError (a TransientError);
+//   * ShortWrite — write sites persist a *prefix* of the record then fail,
+//                  leaving a real torn tail on disk (non-write sites treat
+//                  this as Error);
+//   * Delay      — the registry sleeps delayMicros inside check() and the
+//                  site proceeds normally (slow-disk / slow-queue emulation);
+//   * Abort      — std::abort() inside check(): the fork/kill torture driver
+//                  uses this to die at an exact, reproducible instruction.
+//
+// Zero-overhead guarantee: unless the build defines ADPM_FAULT_INJECTION=1
+// (CMake -DADPM_FAULT_INJECTION=ON), ADPM_FAULT_POINT(name) expands to the
+// constant FaultAction::None — no registry lookup, no atomic load, nothing
+// for the optimizer to keep.  Production builds pay literally zero.
+//
+// Determinism: both triggers are pure functions of (plan, hit index), so a
+// given fault plan reproduces the identical error sequence across runs —
+// the property the torture harness asserts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adpm::util {
+
+enum class FaultAction : std::uint8_t { None, Error, ShortWrite, Delay, Abort };
+
+const char* faultActionName(FaultAction a) noexcept;
+
+/// When and how an armed failpoint fires.
+struct FaultPlan {
+  FaultAction action = FaultAction::Error;
+  /// Fire on every Nth hit (1 = every hit); 0 = use `probability` instead.
+  std::uint64_t everyNth = 0;
+  /// Per-hit fire probability, drawn from a per-point Rng seeded with `seed`
+  /// at arm time (only consulted when everyNth == 0).
+  double probability = 0.0;
+  std::uint64_t seed = 0;
+  /// Stop firing after this many fires (0 = unlimited).
+  std::uint64_t maxFires = 0;
+  /// Sleep length for FaultAction::Delay.
+  unsigned delayMicros = 1000;
+};
+
+/// Process-wide registry of named failpoints.  All methods are thread-safe.
+/// check() is the instrumented-site entry — call it through ADPM_FAULT_POINT
+/// so disabled builds compile the probe away entirely.
+class FaultRegistry {
+ public:
+  static FaultRegistry& instance();
+
+  void arm(const std::string& point, FaultPlan plan);
+  void disarm(const std::string& point);
+  /// Disarms every point and zeroes all counters.
+  void reset();
+
+  /// Arms failpoints from a compact spec, e.g.
+  ///   "wal.append=short-write:every=3;store.apply=error:p=0.1:seed=7:max=2"
+  /// Grammar per clause: point=action[:every=N][:p=P][:seed=S][:max=M][:us=U]
+  /// with clauses separated by ';'.  Throws InvalidArgumentError on
+  /// malformed specs.  Actions: error, short-write, delay, abort.
+  void armFromSpec(const std::string& spec);
+
+  /// Decides whether `point` fires on this hit.  Delay sleeps internally
+  /// and returns None; Abort calls std::abort(); Error/ShortWrite are
+  /// returned for the site to act on.
+  FaultAction check(const char* point);
+
+  std::uint64_t hits(const std::string& point) const;
+  std::uint64_t fired(const std::string& point) const;
+  std::vector<std::string> armed() const;
+
+ private:
+  FaultRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// RAII arm/disarm for tests.
+class ScopedFault {
+ public:
+  ScopedFault(std::string point, FaultPlan plan) : point_(std::move(point)) {
+    FaultRegistry::instance().arm(point_, plan);
+  }
+  ~ScopedFault() { FaultRegistry::instance().disarm(point_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string point_;
+};
+
+}  // namespace adpm::util
+
+#if defined(ADPM_FAULT_INJECTION) && ADPM_FAULT_INJECTION
+#define ADPM_FAULT_POINT(name) \
+  (::adpm::util::FaultRegistry::instance().check(name))
+#else
+// Disabled build: a constant the optimizer folds; every `switch`/`if` on a
+// fault point is dead code and vanishes.
+#define ADPM_FAULT_POINT(name) (::adpm::util::FaultAction::None)
+#endif

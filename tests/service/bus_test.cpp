@@ -123,5 +123,117 @@ TEST(NotificationBus, EmptyBatchIsFree) {
   EXPECT_EQ(bus.unrouted(), 0u);
 }
 
+TEST(NotificationBus, DegradesToResyncMarkerAtHighWater) {
+  NotificationBus::Options options;
+  options.queueCapacity = 8;
+  options.degradeHighWater = 3;
+  NotificationBus bus(options);
+  auto q = bus.subscribe("s1", "ana");
+
+  // Fill to just below the high-water mark: normal delivery.
+  for (std::size_t i = 1; i <= 3; ++i) bus.publish("s1", {note("ana", i)});
+  EXPECT_EQ(bus.downgrades(), 0u);
+  EXPECT_EQ(q->size(), 3u);
+
+  // Depth has reached the mark: the next publish downgrades the subscriber —
+  // one ResyncRequired marker is enqueued instead of the event.
+  bus.publish("s1", {note("ana", 4)});
+  EXPECT_EQ(bus.downgrades(), 1u);
+  EXPECT_EQ(bus.coalesced(), 1u);
+  EXPECT_EQ(q->size(), 4u);
+
+  // While degraded, further events coalesce into the pending marker.
+  bus.publish("s1", {note("ana", 5), note("ana", 6)});
+  EXPECT_EQ(bus.downgrades(), 1u);
+  EXPECT_EQ(bus.coalesced(), 3u);
+  EXPECT_EQ(q->size(), 4u);
+  EXPECT_EQ(bus.dropped(), 0u);  // degraded != silent shedding
+
+  // The consumer sees the per-event prefix, then the marker.
+  EXPECT_EQ(q->pop()->stage, 1u);
+  EXPECT_EQ(q->pop()->stage, 2u);
+  EXPECT_EQ(q->pop()->stage, 3u);
+  const auto marker = q->pop();
+  ASSERT_TRUE(marker.has_value());
+  EXPECT_EQ(marker->kind, dpm::NotificationKind::ResyncRequired);
+  EXPECT_EQ(marker->stage, 4u);
+}
+
+TEST(NotificationBus, ResumesPerEventDeliveryAtLowWater) {
+  NotificationBus::Options options;
+  options.queueCapacity = 8;
+  options.degradeHighWater = 2;
+  options.resumeLowWater = 0;  // defaults to hwm/2 == 1
+  NotificationBus bus(options);
+  auto q = bus.subscribe("s1", "ana");
+
+  bus.publish("s1", {note("ana", 1), note("ana", 2)});
+  bus.publish("s1", {note("ana", 3)});  // queue at hwm: downgrade + marker
+  EXPECT_EQ(bus.downgrades(), 1u);
+  EXPECT_EQ(q->size(), 3u);
+
+  // Drain past the low-water mark, then publish again: delivery resumes.
+  EXPECT_EQ(q->pop()->stage, 1u);
+  EXPECT_EQ(q->pop()->stage, 2u);
+  EXPECT_EQ(q->pop()->kind, dpm::NotificationKind::ResyncRequired);
+  bus.publish("s1", {note("ana", 4)});
+  EXPECT_EQ(bus.downgrades(), 1u);  // no second downgrade
+  const auto resumed = q->tryPop();
+  ASSERT_TRUE(resumed.has_value());
+  EXPECT_EQ(resumed->kind, dpm::NotificationKind::ViolationDetected);
+  EXPECT_EQ(resumed->stage, 4u);
+}
+
+TEST(NotificationBus, DegradedModeNeverBlocksThePublisher) {
+  // The whole point of degraded mode: a saturated Block queue would park the
+  // producing strand; with a high-water mark it must not.
+  NotificationBus::Options options;
+  options.queueCapacity = 4;
+  options.overflow = util::OverflowPolicy::Block;
+  options.degradeHighWater = 3;
+  NotificationBus bus(options);
+  auto q = bus.subscribe("s1", "ana");
+
+  // 10 publishes into a capacity-4 Block queue with nobody consuming: if any
+  // push blocked, this loop would hang the test.
+  for (std::size_t i = 1; i <= 10; ++i) bus.publish("s1", {note("ana", i)});
+  EXPECT_EQ(bus.downgrades(), 1u);
+  EXPECT_GE(bus.coalesced(), 6u);
+  EXPECT_LE(q->size(), 4u);
+}
+
+TEST(NotificationBus, HighWaterMarkIsClampedBelowCapacity) {
+  // hwm >= capacity would leave no room for the resync marker; the bus
+  // clamps it so the marker always fits.
+  NotificationBus::Options options;
+  options.queueCapacity = 2;
+  options.degradeHighWater = 99;
+  NotificationBus bus(options);
+  auto q = bus.subscribe("s1", "ana");
+
+  bus.publish("s1", {note("ana", 1)});   // size 1 == capacity-1: downgrade
+  bus.publish("s1", {note("ana", 2)});   // coalesced
+  EXPECT_EQ(bus.downgrades(), 1u);
+  EXPECT_EQ(q->size(), 2u);  // event + marker, nothing dropped
+  EXPECT_EQ(bus.dropped(), 0u);
+}
+
+TEST(NotificationBus, DegradationIsPerSubscriber) {
+  NotificationBus::Options options;
+  options.queueCapacity = 8;
+  options.degradeHighWater = 2;
+  NotificationBus bus(options);
+  auto slow = bus.subscribe("s1", "ana");
+  auto fast = bus.subscribe("s1", "ben");
+
+  for (std::size_t i = 1; i <= 5; ++i) {
+    bus.publish("s1", {note("ana", i)});  // ana's queue fills, nobody drains
+    bus.publish("s1", {note("ben", i)});
+    while (fast->tryPop()) {  // ben consumes eagerly, stays healthy
+    }
+  }
+  EXPECT_EQ(bus.downgrades(), 1u);  // only ana
+}
+
 }  // namespace
 }  // namespace adpm::service

@@ -1,0 +1,364 @@
+// Crash torture: a recorded WAL is damaged at every record boundary (and at
+// sampled mid-record offsets and bit-flip positions), then recovered with
+// RecoveryPolicy::Salvage.  The recovered session must be *bit-identical* —
+// network hull, violation set, and (λ=T) the full GuidanceReport, all
+// embedded in the canonical snapshot text — to a clean replay of the
+// surviving operation prefix on a fresh session.  Both flows are swept.
+//
+// The fork/abort driver at the bottom (fault-injection builds on unix only)
+// kills a *real process* at an exact WAL append via an armed Abort failpoint
+// and recovers the log it left behind.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define ADPM_TORTURE_FORK 1
+#else
+#define ADPM_TORTURE_FORK 0
+#endif
+
+#include "dddl/parser.hpp"
+#include "scenarios/sensing.hpp"
+#include "service/load.hpp"
+#include "service/session.hpp"
+#include "service/store.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace adpm::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CrashTortureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("adpm_torture_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Records one full session (TeamSim designers as clients, capped so the
+  /// sweep stays fast) with a digest mark every 2 operations; returns the
+  /// WAL path.
+  std::string record(const char* sub, bool adpm) {
+    SessionStore::Options o;
+    o.executor.deterministic = true;
+    o.session.markEvery = 2;
+    o.walDir = (dir_ / sub).string();
+    SessionStore store{std::move(o)};
+    LoadOptions load;
+    load.sessions = 1;
+    load.sim.adpm = adpm;
+    load.sim.seed = 7;
+    load.maxOperationsPerSession = 12;
+    runLoad(store, scenarios::sensingSystemScenario(), load);
+    return (dir_ / sub / "load-0.wal").string();
+  }
+
+  static std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string{std::istreambuf_iterator<char>(in), {}};
+  }
+
+  static void spit(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+
+  /// Offsets just past each record line (candidate truncation points).
+  static std::vector<std::size_t> boundaries(const std::string& content) {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < content.size(); ++i) {
+      if (content[i] == '\n') out.push_back(i + 1);
+    }
+    return out;
+  }
+
+  /// Ground truth: a fresh session replaying the first `k` logged operations
+  /// with no log attached — what any salvaged recovery must match exactly.
+  static SessionSnapshot cleanReplay(const OperationLog::Replay& intact,
+                                     const dpm::ScenarioSpec& spec,
+                                     std::size_t k) {
+    Session session(intact.config, spec, nullptr);
+    for (std::size_t i = 0; i < k; ++i) {
+      session.replayApply(dpm::Operation(intact.operations[i]));
+    }
+    return session.snapshot();
+  }
+
+  /// Salvage-recovers `path` and asserts bit-identical state against the
+  /// clean replay of however many operations the salvage kept.
+  void expectSalvageMatchesCleanReplay(const std::string& path,
+                                       const OperationLog::Replay& intact,
+                                       const dpm::ScenarioSpec& spec,
+                                       std::size_t expectKept,
+                                       SalvageOutcome* outcomeOut = nullptr) {
+    SalvageOutcome outcome;
+    const auto recovered =
+        recoverSession(path, {}, RecoveryPolicy::Salvage, &outcome);
+    EXPECT_EQ(outcome.keptStage, expectKept);
+    const SessionSnapshot got = recovered->snapshot();
+    const SessionSnapshot want = cleanReplay(intact, spec, outcome.keptStage);
+    EXPECT_EQ(got.stage, want.stage);
+    EXPECT_EQ(got.violations, want.violations);
+    EXPECT_EQ(got.text, want.text);  // hull + violations + guidance
+    EXPECT_EQ(got.digest, want.digest);
+    if (outcomeOut != nullptr) *outcomeOut = outcome;
+  }
+
+  /// Operations whose record ends at or before `cut` survive any trim to a
+  /// boundary <= cut.
+  static std::size_t opsWithin(const OperationLog::Replay& intact,
+                               std::size_t cut) {
+    std::size_t n = 0;
+    for (const std::size_t end : intact.opEndOffsets) n += end <= cut ? 1 : 0;
+    return n;
+  }
+
+  void sweepEveryRecordBoundary(const std::string& orig) {
+    const OperationLog::Replay intact = OperationLog::read(orig);
+    const dpm::ScenarioSpec spec = dddl::parse(intact.config.scenarioDddl);
+    const std::string content = slurp(orig);
+    ASSERT_GT(intact.operations.size(), 4u);  // else the sweep proves little
+    ASSERT_GT(intact.marks.size(), 1u);
+
+    const std::string copy = (dir_ / "cut.wal").string();
+    std::size_t swept = 0;
+    for (const std::size_t b : boundaries(content)) {
+      if (b < intact.headerEndOffset) continue;  // header damage: no salvage
+      SCOPED_TRACE("truncated at record boundary " + std::to_string(b));
+      spit(copy, content.substr(0, b));
+
+      SalvageOutcome outcome;
+      expectSalvageMatchesCleanReplay(copy, intact, spec,
+                                      opsWithin(intact, b), &outcome);
+      // A boundary cut leaves only whole records: nothing to trim or drop.
+      EXPECT_FALSE(outcome.salvaged);
+      EXPECT_EQ(outcome.droppedBytes, 0u);
+      // The reopened log is structurally sound (teardown seal included).
+      EXPECT_NO_THROW(OperationLog::read(copy));
+      ++swept;
+    }
+    EXPECT_EQ(swept, boundaries(content).size());
+  }
+
+  void sweepMidRecordCuts(const std::string& orig) {
+    const OperationLog::Replay intact = OperationLog::read(orig);
+    const dpm::ScenarioSpec spec = dddl::parse(intact.config.scenarioDddl);
+    const std::string content = slurp(orig);
+    std::vector<bool> isBoundary(content.size() + 1, false);
+    for (const std::size_t b : boundaries(content)) isBoundary[b] = true;
+
+    const std::string copy = (dir_ / "cut.wal").string();
+    std::size_t swept = 0;
+    // Deterministic stride over mid-record byte offsets past the header:
+    // each cut leaves a genuinely torn tail that salvage must trim.
+    for (std::size_t c = intact.headerEndOffset + 1; c < content.size();
+         c += 23) {
+      if (isBoundary[c]) continue;
+      SCOPED_TRACE("truncated mid-record at byte " + std::to_string(c));
+      spit(copy, content.substr(0, c));
+
+      EXPECT_THROW(OperationLog::read(copy, RecoveryPolicy::Strict),
+                   adpm::Error);
+      SalvageOutcome outcome;
+      expectSalvageMatchesCleanReplay(copy, intact, spec,
+                                      opsWithin(intact, c), &outcome);
+      EXPECT_TRUE(outcome.salvaged);
+      EXPECT_GT(outcome.droppedBytes, 0u);
+      ++swept;
+    }
+    EXPECT_GT(swept, 10u);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CrashTortureTest, EveryRecordBoundaryTruncationRecoversAdpmFlow) {
+  sweepEveryRecordBoundary(record("t", /*adpm=*/true));
+}
+
+TEST_F(CrashTortureTest, EveryRecordBoundaryTruncationRecoversConventional) {
+  sweepEveryRecordBoundary(record("f", /*adpm=*/false));
+}
+
+TEST_F(CrashTortureTest, MidRecordTruncationSalvagesAdpmFlow) {
+  sweepMidRecordCuts(record("t", /*adpm=*/true));
+}
+
+TEST_F(CrashTortureTest, MidRecordTruncationSalvagesConventional) {
+  sweepMidRecordCuts(record("f", /*adpm=*/false));
+}
+
+TEST_F(CrashTortureTest, SampledBitFlipsNeverResurrectCorruptState) {
+  const std::string orig = record("t", /*adpm=*/true);
+  const OperationLog::Replay intact = OperationLog::read(orig);
+  const dpm::ScenarioSpec spec = dddl::parse(intact.config.scenarioDddl);
+  const std::string content = slurp(orig);
+
+  const std::string copy = (dir_ / "flip.wal").string();
+  std::size_t swept = 0;
+  for (std::size_t at = intact.headerEndOffset; at < content.size();
+       at += 31) {
+    SCOPED_TRACE("bit-flipped byte " + std::to_string(at));
+    std::string damaged = content;
+    damaged[at] = static_cast<char>(damaged[at] ^ 0x01);
+    spit(copy, damaged);
+
+    SalvageOutcome outcome;
+    const auto recovered =
+        recoverSession(copy, {}, RecoveryPolicy::Salvage, &outcome);
+    // The invariant: whatever recovery returns is exactly a clean prefix of
+    // the intact history, never corrupt state.  Almost every flip is caught
+    // by the per-record checksum and salvaged away; the one blind spot is a
+    // flip inside the `"crc"` key *name* itself, which demotes the record to
+    // an accepted-unverified legacy record — its payload bytes are untouched,
+    // so recovery is clean and must keep the full history.
+    if (!outcome.salvaged) {
+      EXPECT_EQ(outcome.keptStage, intact.operations.size());
+      EXPECT_EQ(outcome.droppedOperations, 0u);
+    }
+    const SessionSnapshot got = recovered->snapshot();
+    const SessionSnapshot want = cleanReplay(intact, spec, outcome.keptStage);
+    EXPECT_EQ(got.text, want.text);
+    EXPECT_EQ(got.digest, want.digest);
+    ++swept;
+  }
+  EXPECT_GT(swept, 10u);
+}
+
+TEST_F(CrashTortureTest, HeaderDamageIsUnrecoverableUnderEitherPolicy) {
+  const std::string orig = record("t", /*adpm=*/true);
+  const OperationLog::Replay intact = OperationLog::read(orig);
+  const std::string content = slurp(orig);
+  const std::string copy = (dir_ / "head.wal").string();
+
+  // Truncation inside the header record.
+  spit(copy, content.substr(0, intact.headerEndOffset / 2));
+  EXPECT_THROW(recoverSession(copy, {}, RecoveryPolicy::Salvage), adpm::Error);
+  // Bit flip inside the header record.
+  std::string damaged = content;
+  damaged[intact.headerEndOffset / 2] ^= 0x01;
+  spit(copy, damaged);
+  EXPECT_THROW(recoverSession(copy, {}, RecoveryPolicy::Salvage), adpm::Error);
+}
+
+TEST_F(CrashTortureTest, DamagedLogNeverAbortsSiblingRecovery) {
+  SessionStore::Options o;
+  o.executor.deterministic = true;
+  o.session.markEvery = 2;
+  o.walDir = (dir_ / "sib").string();
+  {
+    SessionStore store{SessionStore::Options(o)};
+    LoadOptions load;
+    load.sessions = 2;
+    load.sim.adpm = true;
+    load.sim.seed = 7;
+    load.maxOperationsPerSession = 8;
+    runLoad(store, scenarios::sensingSystemScenario(), load);
+  }
+  // Tear load-0's tail mid-record; load-1 stays pristine.
+  const std::string victim = (dir_ / "sib" / "load-0.wal").string();
+  const std::string content = slurp(victim);
+  spit(victim, content.substr(0, content.size() - 3));
+
+  {
+    // Strict: the damaged log is refused whole, the sibling still recovers.
+    SessionStore store{SessionStore::Options(o)};
+    EXPECT_EQ(store.recover(), (std::vector<std::string>{"load-1"}));
+    const auto report = store.recoverReport();
+    ASSERT_EQ(report.size(), 1u);
+    EXPECT_TRUE(report[0].sessionLost);
+    EXPECT_NE(report[0].path.find("load-0.wal"), std::string::npos);
+  }
+  fs::remove(dir_ / "sib" / "load-1.wal");  // id now live in no store
+  {
+    // Salvage: both sessions come back; the trim is reported, not silent.
+    SessionStore::Options so{o};
+    so.recovery = RecoveryPolicy::Salvage;
+    SessionStore store{std::move(so)};
+    EXPECT_EQ(store.recover(), (std::vector<std::string>{"load-0"}));
+    EXPECT_TRUE(store.recoverErrors().empty());  // nothing lost
+    const auto report = store.recoverReport();
+    ASSERT_EQ(report.size(), 1u);
+    EXPECT_TRUE(report[0].salvaged);
+    EXPECT_FALSE(report[0].sessionLost);
+    EXPECT_GT(report[0].droppedBytes, 0u);
+    EXPECT_GT(store.snapshot("load-0").get().stage, 0u);
+  }
+}
+
+#if defined(ADPM_FAULT_INJECTION) && ADPM_FAULT_INJECTION && ADPM_TORTURE_FORK
+TEST_F(CrashTortureTest, ForkedProcessAbortedMidAppendLeavesRecoverableLog) {
+  const fs::path walDir = dir_ / "kill";
+  const std::string logPath = (walDir / "load-0.wal").string();
+
+  const pid_t pid = ::fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    // Child: arm an Abort on the 6th WAL append — header, four op records
+    // and one periodic mark land; the process dies *inside* the next append
+    // (an exact, reproducible death point, unlike timed kills).
+    util::FaultPlan plan;
+    plan.action = util::FaultAction::Abort;
+    plan.everyNth = 6;
+    util::FaultRegistry::instance().arm("wal.append", plan);
+
+    SessionStore::Options o;
+    o.executor.deterministic = true;
+    o.session.markEvery = 2;
+    o.walDir = walDir.string();
+    SessionStore store{std::move(o)};
+    LoadOptions load;
+    load.sessions = 1;
+    load.sim.adpm = true;
+    load.sim.seed = 7;
+    runLoad(store, scenarios::sensingSystemScenario(), load);
+    ::_exit(0);  // unreachable when the failpoint fires
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited instead of aborting";
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  // Appends: open(1), op(2), op(3), mark@2(4), op(5), op(6 → abort before
+  // any byte).  Three whole op records are durable.
+  SalvageOutcome outcome;
+  const auto recovered =
+      recoverSession(logPath, {}, RecoveryPolicy::Salvage, &outcome);
+  EXPECT_EQ(recovered->stage(), 3u);
+  EXPECT_EQ(outcome.droppedOperations, 0u);  // abort-before-write is clean
+
+  // The recovered state equals a clean replay of the surviving prefix.
+  const OperationLog::Replay replay = OperationLog::read(logPath);
+  const dpm::ScenarioSpec spec = dddl::parse(replay.config.scenarioDddl);
+  Session fresh(replay.config, spec, nullptr);
+  for (std::size_t i = 0; i < 3; ++i) {
+    fresh.replayApply(dpm::Operation(replay.operations[i]));
+  }
+  EXPECT_EQ(recovered->snapshot().text, fresh.snapshot().text);
+}
+#else
+TEST_F(CrashTortureTest, ForkedProcessAbortedMidAppendLeavesRecoverableLog) {
+  GTEST_SKIP() << "needs -DADPM_FAULT_INJECTION=ON and fork()";
+}
+#endif
+
+}  // namespace
+}  // namespace adpm::service

@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dpm/scenario.hpp"
@@ -181,6 +183,51 @@ TEST(SessionStore, CloseForgetsTheSessionButKeepsTheWal) {
     fs::remove(dir / "s.wal");
     store.open("s", twoTeamScenario(), true);
     EXPECT_EQ(store.snapshot("s").get().stage, 0u);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(SessionStore, QueuedTooLongCommandFailsWithTimeoutError) {
+  SessionStore::Options o;
+  o.executor.threads = 1;  // one worker: the sleeper blocks the strand
+  o.command.timeout = std::chrono::milliseconds(1);
+  SessionStore store{std::move(o)};
+  store.open("s", twoTeamScenario(), true);
+
+  // Occupy the session's strand (withSession bypasses the policy), then
+  // queue a typed command behind it; by the time the strand dequeues the
+  // command its deadline has long passed.
+  auto sleeper = store.withSession("s", [](Session&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return 0;
+  });
+  auto late = store.applyOperation("s", synth(1, "ana", 1, 30.0));
+  sleeper.get();
+  EXPECT_THROW(late.get(), adpm::TimeoutError);
+  EXPECT_EQ(store.timeouts(), 1u);
+
+  // The shed command was never executed: the session is still at stage 0
+  // and a fresh command (queued while the strand is idle) runs normally.
+  EXPECT_EQ(store.snapshot("s").get().stage, 0u);
+  EXPECT_EQ(store.retries(), 0u);
+}
+
+TEST(SessionStore, RecoverReportIsEmptyOnCleanRecovery) {
+  const fs::path dir = fs::temp_directory_path() / "adpm_store_test_report";
+  fs::remove_all(dir);
+  {
+    SessionStore::Options o;
+    o.executor.deterministic = true;
+    o.walDir = dir.string();
+    {
+      SessionStore store{SessionStore::Options(o)};
+      store.open("s", twoTeamScenario(), true);
+      store.applyOperation("s", synth(1, "ana", 1, 30.0)).get();
+    }
+    SessionStore store{std::move(o)};
+    EXPECT_EQ(store.recover(), (std::vector<std::string>{"s"}));
+    EXPECT_TRUE(store.recoverErrors().empty());
+    EXPECT_TRUE(store.recoverReport().empty());
   }
   fs::remove_all(dir);
 }

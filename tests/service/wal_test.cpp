@@ -153,5 +153,122 @@ TEST_F(WalTest, ReadRejectsMissingFile) {
   EXPECT_THROW(OperationLog::read(path("absent.wal")), adpm::Error);
 }
 
+TEST_F(WalTest, EveryRecordCarriesAVerifiableChecksum) {
+  const std::string p = path("crc.wal");
+  {
+    OperationLog log(p);
+    log.appendOpen(config());
+    log.appendOperation(op("ana", 1.5));
+    log.appendMark(1, "00000000deadbeef");
+  }
+  std::ifstream in(p);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_NE(line.find("\"crc\":\""), std::string::npos)
+        << "record " << lines << " lacks a crc";
+  }
+  EXPECT_EQ(lines, 3u);
+  // And they verify: a clean read succeeds with full offsets bookkeeping.
+  const OperationLog::Replay replay = OperationLog::read(p);
+  EXPECT_FALSE(replay.truncatedTail);
+  EXPECT_EQ(replay.goodEndOffset, fs::file_size(p));
+  ASSERT_EQ(replay.opEndOffsets.size(), 1u);
+  EXPECT_GT(replay.headerEndOffset, 0u);
+  EXPECT_GT(replay.opEndOffsets[0], replay.headerEndOffset);
+}
+
+TEST_F(WalTest, BitFlipIsDetectedStrictThrowsSalvageTrims) {
+  const std::string p = path("bitflip.wal");
+  {
+    OperationLog log(p);
+    log.appendOpen(config());
+    log.appendOperation(op("ana", 1.5));
+    log.appendOperation(op("ben", 2.5));
+  }
+  // Flip one payload byte inside the *second* op record ("ben" -> "behn"
+  // style corruption without breaking the JSON structure): find it and
+  // damage a digit of its assignment value.
+  std::string content;
+  {
+    std::ifstream in(p, std::ios::binary);
+    content.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const std::size_t at = content.find("2.5");
+  ASSERT_NE(at, std::string::npos);
+  content[at] = '9';  // still valid JSON; crc must catch it
+  {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+  EXPECT_THROW(OperationLog::read(p, RecoveryPolicy::Strict), adpm::Error);
+
+  const OperationLog::Replay replay =
+      OperationLog::read(p, RecoveryPolicy::Salvage);
+  EXPECT_TRUE(replay.truncatedTail);
+  ASSERT_EQ(replay.operations.size(), 1u);  // "ana" survives, "ben" dropped
+  EXPECT_EQ(replay.operations[0].designer, "ana");
+  EXPECT_NE(replay.tailError.find("checksum mismatch"), std::string::npos);
+  EXPECT_EQ(replay.goodEndOffset + replay.droppedBytes, content.size());
+}
+
+TEST_F(WalTest, TornTailWithoutNewlineStrictThrowsSalvageTrims) {
+  const std::string p = path("torn.wal");
+  {
+    OperationLog log(p);
+    log.appendOpen(config());
+    log.appendOperation(op("ana", 1.0));
+  }
+  const std::size_t intact = fs::file_size(p);
+  {
+    // A record the writer never finished: half a line, no newline.
+    std::ofstream out(p, std::ios::app | std::ios::binary);
+    out << R"({"t":"op","op":{"kind":"Syn)";
+  }
+  EXPECT_THROW(OperationLog::read(p, RecoveryPolicy::Strict), adpm::Error);
+
+  const OperationLog::Replay replay =
+      OperationLog::read(p, RecoveryPolicy::Salvage);
+  EXPECT_TRUE(replay.truncatedTail);
+  EXPECT_EQ(replay.goodEndOffset, intact);
+  EXPECT_EQ(replay.droppedBytes, fs::file_size(p) - intact);
+  EXPECT_NE(replay.tailError.find("torn"), std::string::npos);
+  ASSERT_EQ(replay.operations.size(), 1u);
+}
+
+TEST_F(WalTest, SalvageNeverRepairsHeaderDamage) {
+  const std::string p = path("torn_header.wal");
+  {
+    // Half a header and nothing else: no trustworthy (id, scenario).
+    std::ofstream out(p, std::ios::binary);
+    out << R"({"t":"open","v":1,"session")";
+  }
+  EXPECT_THROW(OperationLog::read(p, RecoveryPolicy::Salvage), adpm::Error);
+}
+
+TEST_F(WalTest, CrcLessLegacyRecordsAreAcceptedUnverified) {
+  const std::string p = path("legacy.wal");
+  {
+    std::ofstream out(p);
+    out << R"({"t":"open","v":1,"session":"s1","adpm":true,"scenario":"d","dddl":"object sys {}\n"})"
+        << "\n"
+        << R"({"t":"mark","stage":0,"digest":"00000000deadbeef"})" << "\n";
+  }
+  const OperationLog::Replay replay = OperationLog::read(p);
+  EXPECT_EQ(replay.config.id, "s1");
+  ASSERT_EQ(replay.marks.size(), 1u);
+}
+
+TEST_F(WalTest, TailOffsetTracksDurableBytes) {
+  const std::string p = path("tail.wal");
+  OperationLog log(p);
+  EXPECT_EQ(log.tailOffset(), 0u);
+  log.appendOpen(config());
+  EXPECT_EQ(log.tailOffset(), fs::file_size(p));
+  log.appendOperation(op("ana", 1.0));
+  EXPECT_EQ(log.tailOffset(), fs::file_size(p));
+}
+
 }  // namespace
 }  // namespace adpm::service

@@ -1,0 +1,175 @@
+#include "util/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+// The registry is a plain object callable in any build; only the
+// ADPM_FAULT_POINT macro is compiled away when injection is off.  These
+// tests drive check() directly, so they run (and CI runs them) under both
+// settings.
+namespace adpm::util {
+namespace {
+
+class FaultRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultRegistry::instance().reset(); }
+  void TearDown() override { FaultRegistry::instance().reset(); }
+};
+
+TEST_F(FaultRegistryTest, UnarmedPointNeverFires) {
+  auto& reg = FaultRegistry::instance();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(reg.check("wal.append"), FaultAction::None);
+  }
+  EXPECT_EQ(reg.hits("wal.append"), 0u);  // unarmed hits are not tracked
+  EXPECT_TRUE(reg.armed().empty());
+}
+
+TEST_F(FaultRegistryTest, EveryNthFiresDeterministically) {
+  auto& reg = FaultRegistry::instance();
+  FaultPlan plan;
+  plan.action = FaultAction::Error;
+  plan.everyNth = 3;
+  reg.arm("wal.append", plan);
+
+  std::vector<int> fires;
+  for (int i = 1; i <= 12; ++i) {
+    if (reg.check("wal.append") != FaultAction::None) fires.push_back(i);
+  }
+  EXPECT_EQ(fires, (std::vector<int>{3, 6, 9, 12}));
+  EXPECT_EQ(reg.hits("wal.append"), 12u);
+  EXPECT_EQ(reg.fired("wal.append"), 4u);
+}
+
+TEST_F(FaultRegistryTest, SeededProbabilityReproduces) {
+  auto& reg = FaultRegistry::instance();
+  FaultPlan plan;
+  plan.action = FaultAction::Error;
+  plan.probability = 0.3;
+  plan.seed = 42;
+
+  auto sequence = [&] {
+    reg.reset();
+    reg.arm("store.apply", plan);
+    std::vector<bool> fired;
+    fired.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(reg.check("store.apply") != FaultAction::None);
+    }
+    return fired;
+  };
+  const std::vector<bool> first = sequence();
+  const std::vector<bool> second = sequence();
+  EXPECT_EQ(first, second);  // same seed, same fire pattern
+  // Sanity: p=0.3 over 64 hits should fire at least once and not always.
+  std::size_t count = 0;
+  for (const bool f : first) count += f ? 1 : 0;
+  EXPECT_GT(count, 0u);
+  EXPECT_LT(count, 64u);
+
+  // A different seed gives a different pattern (overwhelmingly likely).
+  plan.seed = 43;
+  reg.reset();
+  reg.arm("store.apply", plan);
+  std::vector<bool> other;
+  for (int i = 0; i < 64; ++i) {
+    other.push_back(reg.check("store.apply") != FaultAction::None);
+  }
+  EXPECT_NE(first, other);
+}
+
+TEST_F(FaultRegistryTest, MaxFiresCapsThenGoesQuiet) {
+  auto& reg = FaultRegistry::instance();
+  FaultPlan plan;
+  plan.action = FaultAction::Error;
+  plan.everyNth = 1;
+  plan.maxFires = 2;
+  reg.arm("store.apply", plan);
+
+  EXPECT_EQ(reg.check("store.apply"), FaultAction::Error);
+  EXPECT_EQ(reg.check("store.apply"), FaultAction::Error);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(reg.check("store.apply"), FaultAction::None);
+  }
+  EXPECT_EQ(reg.fired("store.apply"), 2u);
+  EXPECT_EQ(reg.hits("store.apply"), 7u);
+}
+
+TEST_F(FaultRegistryTest, DelayReturnsNoneToTheSite) {
+  auto& reg = FaultRegistry::instance();
+  FaultPlan plan;
+  plan.action = FaultAction::Delay;
+  plan.everyNth = 1;
+  plan.delayMicros = 1;  // keep the test fast
+  reg.arm("executor.dispatch", plan);
+  EXPECT_EQ(reg.check("executor.dispatch"), FaultAction::None);
+  EXPECT_EQ(reg.fired("executor.dispatch"), 1u);
+}
+
+TEST_F(FaultRegistryTest, DisarmStopsFiring) {
+  auto& reg = FaultRegistry::instance();
+  FaultPlan plan;
+  plan.everyNth = 1;
+  reg.arm("wal.fsync", plan);
+  EXPECT_EQ(reg.check("wal.fsync"), FaultAction::Error);
+  reg.disarm("wal.fsync");
+  EXPECT_EQ(reg.check("wal.fsync"), FaultAction::None);
+  EXPECT_TRUE(reg.armed().empty());
+}
+
+TEST_F(FaultRegistryTest, ScopedFaultDisarmsOnExit) {
+  auto& reg = FaultRegistry::instance();
+  FaultPlan plan;
+  plan.everyNth = 1;
+  {
+    ScopedFault scoped("bus.publish", plan);
+    EXPECT_EQ(reg.check("bus.publish"), FaultAction::Error);
+  }
+  EXPECT_EQ(reg.check("bus.publish"), FaultAction::None);
+}
+
+TEST_F(FaultRegistryTest, ArmFromSpecParsesClauses) {
+  auto& reg = FaultRegistry::instance();
+  reg.armFromSpec(
+      "wal.append=short-write:every=3;"
+      "store.apply=error:p=0.25:seed=7:max=2;"
+      "executor.dispatch=delay:every=1:us=5");
+  const std::vector<std::string> armed = reg.armed();
+  EXPECT_EQ(armed.size(), 3u);
+
+  // every=3 short-write behaves as armed.
+  EXPECT_EQ(reg.check("wal.append"), FaultAction::None);
+  EXPECT_EQ(reg.check("wal.append"), FaultAction::None);
+  EXPECT_EQ(reg.check("wal.append"), FaultAction::ShortWrite);
+}
+
+TEST_F(FaultRegistryTest, ArmFromSpecRejectsGarbage) {
+  auto& reg = FaultRegistry::instance();
+  EXPECT_THROW(reg.armFromSpec("no-equals-sign"), adpm::InvalidArgumentError);
+  EXPECT_THROW(reg.armFromSpec("p=bogus-action"), adpm::InvalidArgumentError);
+  EXPECT_THROW(reg.armFromSpec("p=error:every=x"),
+               adpm::InvalidArgumentError);
+  EXPECT_THROW(reg.armFromSpec("p=error:unknown=1"),
+               adpm::InvalidArgumentError);
+  EXPECT_THROW(reg.armFromSpec("=error"), adpm::InvalidArgumentError);
+}
+
+TEST_F(FaultRegistryTest, ResetClearsPointsAndCounters) {
+  auto& reg = FaultRegistry::instance();
+  FaultPlan plan;
+  plan.everyNth = 1;
+  reg.arm("wal.open", plan);
+  EXPECT_EQ(reg.check("wal.open"), FaultAction::Error);
+  reg.reset();
+  EXPECT_TRUE(reg.armed().empty());
+  EXPECT_EQ(reg.hits("wal.open"), 0u);
+  EXPECT_EQ(reg.fired("wal.open"), 0u);
+  EXPECT_EQ(reg.check("wal.open"), FaultAction::None);
+}
+
+}  // namespace
+}  // namespace adpm::util

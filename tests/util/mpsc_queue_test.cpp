@@ -102,5 +102,46 @@ TEST(BoundedMpscQueue, ManyProducersOneConsumer) {
   }
 }
 
+// Concurrent DropOldest accounting: with P producers pushing a known total
+// into a small queue, every push "succeeds" (DropOldest never refuses) and
+// each evicted item is counted exactly once — so items drained by the
+// consumer plus dropped() must equal the total, with no double-counting and
+// no silent loss.  Runs under TSan in CI.
+TEST(BoundedMpscQueue, DropOldestManyProducersExactDropAccounting) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  constexpr int kTotal = kProducers * kPerProducer;
+  BoundedMpscQueue<int> q(8, OverflowPolicy::DropOldest);
+
+  std::atomic<int> started{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      // Rendezvous so the producers genuinely contend.
+      started.fetch_add(1);
+      while (started.load() < kProducers) std::this_thread::yield();
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));  // DropOldest never fails
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+
+  // All producers done: drain what survived.
+  std::vector<bool> seen(kTotal, false);
+  std::size_t delivered = 0;
+  while (std::optional<int> item = q.tryPop()) {
+    ASSERT_GE(*item, 0);
+    ASSERT_LT(*item, kTotal);
+    ASSERT_FALSE(seen[*item]) << "item " << *item << " delivered twice";
+    seen[*item] = true;
+    ++delivered;
+  }
+  ASSERT_LE(delivered, q.capacity());
+  // Exactness: delivered ∪ dropped partitions the pushes.
+  EXPECT_EQ(delivered + q.dropped(), static_cast<std::size_t>(kTotal));
+}
+
 }  // namespace
 }  // namespace adpm::util
