@@ -11,9 +11,13 @@
 // to scale; on a single-core container the curve is flat by construction.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <filesystem>
 #include <string>
 
+#include "dddl/writer.hpp"
+#include "net/server.hpp"
+#include "net/wire_load.hpp"
 #include "scenarios/sensing.hpp"
 #include "service/load.hpp"
 #include "service/store.hpp"
@@ -100,6 +104,62 @@ void BM_ServiceFleetJournaled(benchmark::State& state) {
 BENCHMARK(BM_ServiceFleetJournaled)
     ->Arg(4)
     ->ArgNames({"workers"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ServiceWire(benchmark::State& state) {
+  // Clients over the wire: the same fleet, but every designer drives its
+  // session through a TCP connection against a net::Server (one connection
+  // + shadow manager per session, loopback).  ops_per_sec is the end-to-end
+  // wire throughput; apply_rtt_us the mean Apply request/response round
+  // trip; bus_downgrades counts subscription streams the NotificationBus
+  // collapsed into ResyncRequired under write backpressure.
+  const std::string dddlText = dddl::write(scenarios::sensingSystemScenario());
+  const std::size_t clients = static_cast<std::size_t>(state.range(0));
+
+  std::size_t operations = 0;
+  std::size_t downgrades = 0;
+  double wall = 0.0;
+  double rttWeighted = 0.0;
+  for (auto _ : state) {
+    service::SessionStore::Options options;
+    options.executor.threads = 4;
+    service::SessionStore store{std::move(options)};
+    net::Server server(store, net::Server::Options{});
+    const std::uint16_t port = server.start();
+
+    net::WireLoadOptions load;
+    load.port = port;
+    load.sessions = clients;
+    load.dddl = dddlText;
+    load.sim.adpm = true;
+    load.sim.seed = 1;
+    const net::WireLoadReport report = runWireLoad(load);
+    benchmark::DoNotOptimize(report.operations);
+    operations += report.operations;
+    wall += report.wallSeconds;
+    rttWeighted +=
+        report.applyRttMeanMicros * static_cast<double>(report.operations);
+    downgrades += store.bus().downgrades();
+    server.shutdown(std::chrono::seconds(5));
+  }
+  if (wall > 0.0) {
+    state.counters["ops_per_sec"] =
+        benchmark::Counter(static_cast<double>(operations) / wall);
+  }
+  if (operations > 0) {
+    state.counters["apply_rtt_us"] =
+        benchmark::Counter(rttWeighted / static_cast<double>(operations));
+  }
+  state.counters["bus_downgrades"] =
+      benchmark::Counter(static_cast<double>(downgrades));
+  state.SetItemsProcessed(static_cast<std::int64_t>(operations));
+}
+BENCHMARK(BM_ServiceWire)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgNames({"clients"})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

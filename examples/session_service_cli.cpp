@@ -5,11 +5,22 @@
 //   $ ./session_service_cli --scenario sensing --sessions 8 --threads 4
 //   $ ./session_service_cli --scenario receiver --sessions 4 --wal-dir /tmp/wal
 //   $ ./session_service_cli --wal-dir /tmp/wal --recover      # after a crash
+//
+// With --connect the fleet moves to the far side of a TCP connection: the
+// same TeamSim designers drive sessions hosted by a session_server_cli
+// process, one connection per session, each keeping a local shadow manager
+// whose final digest must match the server's (the cross-process determinism
+// check).
+//
+//   $ ./session_service_cli --connect 127.0.0.1:7101 --sessions 4 --seed 3
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "dddl/writer.hpp"
+#include "net/wire_load.hpp"
 #include "scenarios/accelerometer.hpp"
 #include "scenarios/receiver.hpp"
 #include "scenarios/sensing.hpp"
@@ -43,7 +54,15 @@ int usage() {
       "                                 the longest trustworthy prefix\n"
       "  --fault-plan <spec>            arm failpoints, e.g.\n"
       "                                 'wal.append=short-write:every=3'\n"
-      "                                 (needs -DADPM_FAULT_INJECTION=ON)\n");
+      "                                 (needs -DADPM_FAULT_INJECTION=ON)\n"
+      "  --connect <host:port>          drive the sessions over the wire\n"
+      "                                 against a session_server_cli instead\n"
+      "                                 of an in-process store (sends the\n"
+      "                                 scenario as DDDL; verifies shadow\n"
+      "                                 digests; exits 1 on divergence)\n"
+      "  --id-prefix <prefix>           session id prefix for --connect\n"
+      "                                 (default 'wire-'; must be unique per\n"
+      "                                 driver process)\n");
   return 2;
 }
 
@@ -82,6 +101,8 @@ int main(int argc, char** argv) {
   bool recover = false;
   bool salvage = false;
   std::string faultPlan;
+  std::string connect;
+  std::string idPrefix = "wire-";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -116,6 +137,10 @@ int main(int argc, char** argv) {
       salvage = true;
     } else if (arg == "--fault-plan") {
       faultPlan = next();
+    } else if (arg == "--connect") {
+      connect = next();
+    } else if (arg == "--id-prefix") {
+      idPrefix = next();
     } else {
       return usage();
     }
@@ -130,6 +155,43 @@ int main(int argc, char** argv) {
                    "--fault-plan ignored: binary built without "
                    "-DADPM_FAULT_INJECTION=ON\n");
 #endif
+    }
+
+    if (!connect.empty()) {
+      const std::size_t colon = connect.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--connect needs host:port\n");
+        return 2;
+      }
+      net::WireLoadOptions wire;
+      wire.host = connect.substr(0, colon);
+      wire.port = static_cast<std::uint16_t>(
+          std::strtoul(connect.c_str() + colon + 1, nullptr, 10));
+      wire.sessions = sessions;
+      wire.sim.adpm = adpm;
+      wire.sim.seed = seed;
+      wire.maxOperationsPerSession = maxOps;
+      wire.idPrefix = idPrefix;
+      // Ship the scenario as DDDL so any server accepts it, registry or not;
+      // the server replies with its canonical rendering for the shadow.
+      wire.dddl = dddl::write(scenarioByName(scenarioName));
+
+      const net::WireLoadReport report = runWireLoad(wire);
+      std::printf(
+          "wire: target=%s scenario=%s flow=%s sessions=%zu\n"
+          "completed=%zu operations=%zu notifications=%zu resyncs=%zu\n"
+          "reconnects=%zu transientRetries=%zu failed=%zu "
+          "digestMismatches=%zu\n"
+          "wall=%.3fs ops/sec=%.0f applyRtt=%.0fus\n",
+          connect.c_str(), scenarioName.c_str(),
+          adpm ? "ADPM" : "conventional", report.sessions,
+          report.completedSessions, report.operations,
+          report.notificationsReceived, report.resyncsRequired,
+          report.reconnects, report.transientRetries, report.failedSessions,
+          report.digestMismatches, report.wallSeconds, report.opsPerSecond,
+          report.applyRttMeanMicros);
+      return (report.digestMismatches == 0 && report.failedSessions == 0) ? 0
+                                                                          : 1;
     }
 
     service::SessionStore::Options options;

@@ -15,13 +15,61 @@
 #   * BM_ServiceFleet workers:1/2/4 — ops_per_sec and sessions_per_sec of
 #     the concurrent session service; the 4-vs-1 worker ratio is the scaling
 #     claim (needs >1 hardware thread to mean anything);
-#   * BM_ServiceFleetJournaled — the same fleet with the write-ahead log on.
-# Build in Release (or the default RelWithDebInfo) before trusting numbers.
+#   * BM_ServiceFleetJournaled — the same fleet with the write-ahead log on;
+#   * BM_ServiceWire clients:1/2/4 — the fleet driven over TCP (one
+#     connection + shadow per session): end-to-end ops_per_sec, mean Apply
+#     RTT, and NotificationBus downgrades under write backpressure.
+#
+# Numbers from a Debug, sanitizer, or fault-injection build are
+# meaningless; the script refuses those configurations unless
+# ADPM_BENCH_ALLOW_DEBUG=1 is set, in which case results are written with a
+# `.debug.json` suffix so they can never be mistaken for (or committed
+# over) trustworthy ones.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
 filter="${2:-}"
+
+cache="$build/CMakeCache.txt"
+if [ ! -f "$cache" ]; then
+  echo "error: $cache not found (configure the build first: cmake -B $build)" >&2
+  exit 1
+fi
+
+cache_val() {
+  sed -n "s/^$1:[A-Z]*=//p" "$cache" | head -n1
+}
+
+build_type="$(cache_val CMAKE_BUILD_TYPE)"
+untrusted_reasons=()
+case "$build_type" in
+  # An empty cache entry means the project default, which CMakeLists.txt
+  # pins to RelWithDebInfo.
+  ""|Release|RelWithDebInfo|MinSizeRel) ;;
+  *) untrusted_reasons+=("CMAKE_BUILD_TYPE='$build_type' is not an optimized build") ;;
+esac
+for opt in ADPM_SANITIZE ADPM_TSAN ADPM_FAULT_INJECTION; do
+  case "$(cache_val "$opt")" in
+    ON|TRUE|1|YES) untrusted_reasons+=("$opt is ON") ;;
+  esac
+done
+
+suffix=".json"
+if [ "${#untrusted_reasons[@]}" -gt 0 ]; then
+  echo "warning: benchmark numbers from $build are NOT trustworthy:" >&2
+  for reason in "${untrusted_reasons[@]}"; do
+    echo "  - $reason" >&2
+  done
+  if [ "${ADPM_BENCH_ALLOW_DEBUG:-0}" != "1" ]; then
+    echo "refusing to run; rebuild with -DCMAKE_BUILD_TYPE=Release (or set" >&2
+    echo "ADPM_BENCH_ALLOW_DEBUG=1 to run anyway — results will be tagged" >&2
+    echo "with a .debug.json suffix and must not replace the committed ones)" >&2
+    exit 1
+  fi
+  suffix=".debug.json"
+  echo "ADPM_BENCH_ALLOW_DEBUG=1: running anyway, tagging outputs *${suffix}" >&2
+fi
 
 run_suite() {
   local bench="$1" out="$2"
@@ -35,8 +83,18 @@ run_suite() {
     args+=("--benchmark_filter=$filter")
   fi
   "$bench" "${args[@]}"
+  # The cache checks above cover *our* flags; the JSON context records how
+  # the google-benchmark library itself was packaged, which they cannot see.
+  # A debug libbenchmark inflates harness overhead even under -O2 project
+  # code, so surface it rather than letting the context field pass silently.
+  if grep -q '"library_build_type": "debug"' "$out"; then
+    echo "warning: $out: the installed google-benchmark library is a debug" >&2
+    echo "build (context.library_build_type); absolute timings include" >&2
+    echo "un-optimized harness overhead even though the benchmarked code" >&2
+    echo "is optimized — compare series within this file only" >&2
+  fi
   echo "wrote $out"
 }
 
-run_suite "$build/bench/bench_propagation" "$repo/BENCH_propagation.json"
-run_suite "$build/bench/bench_service" "$repo/BENCH_service.json"
+run_suite "$build/bench/bench_propagation" "$repo/BENCH_propagation${suffix}"
+run_suite "$build/bench/bench_service" "$repo/BENCH_service${suffix}"

@@ -1,0 +1,163 @@
+#include "net/protocol.hpp"
+
+#include <cmath>
+
+#include "dpm/operation_io.hpp"
+#include "net/frame.hpp"
+#include "util/error.hpp"
+
+namespace adpm::net {
+
+namespace {
+
+std::uint32_t asId(const util::json::Value& v, const char* what) {
+  const double n = v.asNumber();
+  if (n < 0 || n != std::floor(n)) {
+    throw adpm::InvalidArgumentError(std::string("wire json: bad ") + what);
+  }
+  return static_cast<std::uint32_t>(n);
+}
+
+std::size_t asCount(const util::json::Value& v, const char* what) {
+  return static_cast<std::size_t>(asId(v, what));
+}
+
+util::json::Array idArray(const std::vector<constraint::ConstraintId>& ids) {
+  util::json::Array out;
+  out.reserve(ids.size());
+  for (const constraint::ConstraintId id : ids) {
+    out.push_back(util::json::Value(static_cast<std::size_t>(id.value)));
+  }
+  return out;
+}
+
+std::vector<constraint::ConstraintId> idVector(const util::json::Value& v,
+                                               const char* what) {
+  std::vector<constraint::ConstraintId> out;
+  for (const util::json::Value& id : v.asArray()) {
+    out.push_back(constraint::ConstraintId{asId(id, what)});
+  }
+  return out;
+}
+
+}  // namespace
+
+util::json::Value operationRecordToJson(const dpm::OperationRecord& record) {
+  util::json::Value v{util::json::Object{}};
+  v.set("stage", record.stage);
+  v.set("op", dpm::operationToJson(record.op));
+  v.set("evaluations", record.evaluations);
+  v.set("found", idArray(record.violationsFound));
+  v.set("after", record.violationsKnownAfter);
+  v.set("spin", record.spin);
+  v.set("generated", idArray(record.constraintsGenerated));
+  return v;
+}
+
+dpm::OperationRecord operationRecordFromJson(const util::json::Value& v) {
+  dpm::OperationRecord record;
+  record.stage = asCount(v.at("stage"), "stage");
+  record.op = dpm::operationFromJson(v.at("op"));
+  record.evaluations = asCount(v.at("evaluations"), "evaluations");
+  record.violationsFound = idVector(v.at("found"), "violation id");
+  record.violationsKnownAfter = asCount(v.at("after"), "violation count");
+  record.spin = v.at("spin").asBool();
+  record.constraintsGenerated = idVector(v.at("generated"), "constraint id");
+  return record;
+}
+
+util::json::Value notificationToJson(const std::string& sessionId,
+                                     const dpm::Notification& n) {
+  util::json::Value v{util::json::Object{}};
+  v.set("session", sessionId);
+  v.set("kind", dpm::notificationKindName(n.kind));
+  v.set("designer", n.designer);
+  v.set("stage", n.stage);
+  if (n.constraintId) {
+    v.set("constraint", static_cast<std::size_t>(n.constraintId->value));
+  }
+  if (n.propertyId) {
+    v.set("property", static_cast<std::size_t>(n.propertyId->value));
+  }
+  v.set("text", n.text);
+  return v;
+}
+
+dpm::NotificationKind notificationKindFromName(const std::string& name) {
+  using K = dpm::NotificationKind;
+  for (const K k : {K::ViolationDetected, K::ViolationResolved,
+                    K::FeasibleSubspaceReduced, K::ProblemSolved,
+                    K::RequirementChanged, K::ResyncRequired}) {
+    if (name == dpm::notificationKindName(k)) return k;
+  }
+  throw adpm::InvalidArgumentError("wire json: unknown notification kind '" +
+                                   name + "'");
+}
+
+dpm::Notification notificationFromJson(const util::json::Value& v) {
+  dpm::Notification n;
+  n.kind = notificationKindFromName(v.at("kind").asString());
+  n.designer = v.at("designer").asString();
+  n.stage = asCount(v.at("stage"), "stage");
+  if (const util::json::Value* c = v.find("constraint")) {
+    n.constraintId = constraint::ConstraintId{asId(*c, "constraint id")};
+  }
+  if (const util::json::Value* p = v.find("property")) {
+    n.propertyId = constraint::PropertyId{asId(*p, "property id")};
+  }
+  n.text = v.at("text").asString();
+  return n;
+}
+
+util::json::Value snapshotToJson(const service::SessionSnapshot& snap,
+                                 bool withText) {
+  util::json::Value v{util::json::Object{}};
+  v.set("id", snap.id);
+  v.set("stage", snap.stage);
+  v.set("complete", snap.complete);
+  v.set("evaluations", snap.evaluations);
+  v.set("violations", snap.violations);
+  v.set("digest", snap.digest);
+  if (withText) v.set("text", snap.text);
+  return v;
+}
+
+service::SessionSnapshot snapshotFromJson(const util::json::Value& v) {
+  service::SessionSnapshot snap;
+  snap.id = v.at("id").asString();
+  snap.stage = asCount(v.at("stage"), "stage");
+  snap.complete = v.at("complete").asBool();
+  snap.evaluations = asCount(v.at("evaluations"), "evaluations");
+  snap.violations = asCount(v.at("violations"), "violations");
+  snap.digest = v.at("digest").asString();
+  if (const util::json::Value* text = v.find("text")) {
+    snap.text = text->asString();
+  }
+  return snap;
+}
+
+const char* wireErrorName(const std::exception& e) noexcept {
+  // Ordered most-derived first: FaultInjectedError is a TransientError, and
+  // TimeoutError/TransientError/InvalidArgumentError are all adpm::Error.
+  if (dynamic_cast<const adpm::TimeoutError*>(&e)) return "Timeout";
+  if (dynamic_cast<const adpm::TransientError*>(&e)) return "Transient";
+  if (dynamic_cast<const adpm::InvalidArgumentError*>(&e)) {
+    return "InvalidArgument";
+  }
+  if (dynamic_cast<const ProtocolError*>(&e)) return "Protocol";
+  if (dynamic_cast<const adpm::ParseError*>(&e)) return "Parse";
+  if (dynamic_cast<const adpm::Error*>(&e)) return "Error";
+  return "Internal";
+}
+
+void throwWireError(const std::string& name, const std::string& message) {
+  if (name == "Timeout") throw adpm::TimeoutError(message);
+  if (name == "Transient") throw adpm::TransientError(message);
+  if (name == "InvalidArgument") throw adpm::InvalidArgumentError(message);
+  if (name == "Protocol") throw ProtocolError(message);
+  // "Parse", "Error", "Internal" and anything unrecognized: the base type —
+  // not retryable, not a caller bug by construction.
+  throw adpm::Error(message);
+}
+
+}  // namespace adpm::net

@@ -1,0 +1,60 @@
+// Wire payload codecs: canonical-JSON request/response bodies.
+//
+// The wire payload of every frame is one canonical JSON document
+// (util/json.hpp — insertion-ordered keys, %.17g doubles), built on the
+// same codec the WAL journals operations with (dpm/operation_io.hpp).  A
+// client's Apply payload and the server's journal record therefore carry
+// the byte-identical operation encoding, and replay determinism extends
+// across the process boundary: a remote client can maintain a local shadow
+// manager and prove (by snapshot digest) that it is bit-identical to the
+// server's session.
+//
+// Error taxonomy: failures round-trip as Error frames carrying the name of
+// the util/error.hpp class ("Timeout", "Transient", "InvalidArgument",
+// "Protocol", "Error"), so the client re-throws the *same type* the
+// in-process API would have thrown — a remote caller's retry policy
+// (CommandPolicy semantics) works unchanged.
+#pragma once
+
+#include <string>
+
+#include "dpm/notification.hpp"
+#include "dpm/operation.hpp"
+#include "service/session.hpp"
+#include "util/json.hpp"
+
+namespace adpm::net {
+
+// -- operation records (Apply responses) -------------------------------------
+
+util::json::Value operationRecordToJson(const dpm::OperationRecord& record);
+dpm::OperationRecord operationRecordFromJson(const util::json::Value& v);
+
+// -- notifications (server-push frames) --------------------------------------
+
+/// {"session":ID,"kind":NAME,"designer":D,"stage":N,
+///  "constraint":C?,"property":P?,"text":T}
+util::json::Value notificationToJson(const std::string& sessionId,
+                                     const dpm::Notification& n);
+dpm::Notification notificationFromJson(const util::json::Value& v);
+
+dpm::NotificationKind notificationKindFromName(const std::string& name);
+
+// -- snapshots ---------------------------------------------------------------
+
+util::json::Value snapshotToJson(const service::SessionSnapshot& snap,
+                                 bool withText);
+service::SessionSnapshot snapshotFromJson(const util::json::Value& v);
+
+// -- error taxonomy ----------------------------------------------------------
+
+/// The wire name for an exception ("Timeout", "Transient",
+/// "InvalidArgument", "Protocol", "Parse", "Error").
+const char* wireErrorName(const std::exception& e) noexcept;
+
+/// Rebuilds and throws the typed exception an Error frame encodes, so
+/// remote failures are indistinguishable (by type) from local ones.
+[[noreturn]] void throwWireError(const std::string& name,
+                                 const std::string& message);
+
+}  // namespace adpm::net

@@ -1,0 +1,608 @@
+#include "net/server.hpp"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "dddl/parser.hpp"
+#include "dddl/writer.hpp"
+#include "dpm/operation_io.hpp"
+#include "net/protocol.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace adpm::net {
+
+namespace json = util::json;
+
+Server::Server(service::SessionStore& store, Options options)
+    : store_(store), options_(std::move(options)) {
+  Reactor::Handlers handlers;
+  handlers.onAccept = [this](Reactor::ConnId id) { handleAccept(id); };
+  handlers.onFrame = [this](Reactor::ConnId id, Frame&& frame) {
+    handleFrame(id, std::move(frame));
+  };
+  handlers.onClose = [this](Reactor::ConnId id, const std::string&) {
+    handleClose(id);
+  };
+  handlers.onWritable = [this](Reactor::ConnId id) { handleWritable(id); };
+  reactor_ = std::make_unique<Reactor>(options_.reactor, std::move(handlers));
+}
+
+Server::~Server() {
+  if (running_.load()) kill();
+  reapRetiredPumps();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& pump : retiredPumps_) {
+    if (pump->thread.joinable()) pump->thread.join();
+  }
+}
+
+std::uint16_t Server::start() {
+  port_ = reactor_->listen(options_.host, options_.port);
+  running_.store(true);
+  reactorThread_ = std::thread([this] { reactor_->run(); });
+  return port_;
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.accepted = accepted_.load();
+  s.closed = closed_.load();
+  s.frames = frames_.load();
+  s.results = results_.load();
+  s.errors = errors_.load();
+  s.protocolErrors = protocolErrors_.load();
+  s.timeouts = timeouts_.load();
+  s.pushes = pushes_.load();
+  s.subscriptions = subscriptions_.load();
+  return s;
+}
+
+std::chrono::milliseconds Server::effectiveTimeout() const {
+  if (options_.commandTimeout.count() > 0) return options_.commandTimeout;
+  return store_.options().command.timeout;
+}
+
+// -- connection lifecycle -----------------------------------------------------
+
+void Server::handleAccept(Reactor::ConnId conn) {
+  ++accepted_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    conns_.emplace(conn, ConnState{});
+  }
+  reapRetiredPumps();
+}
+
+void Server::handleClose(Reactor::ConnId conn) {
+  ++closed_;
+  retireConn(conn);
+}
+
+void Server::handleWritable(Reactor::ConnId conn) {
+  std::shared_ptr<Gate> gate;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = conns_.find(conn);
+    if (it == conns_.end()) return;
+    gate = it->second.gate;
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate->mutex);
+  }
+  gate->cv.notify_all();
+}
+
+void Server::retireConn(Reactor::ConnId conn) {
+  ConnState state;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = conns_.find(conn);
+    if (it == conns_.end()) return;
+    state = std::move(it->second);
+    conns_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(state.gate->mutex);
+    state.gate->open = false;
+  }
+  state.gate->cv.notify_all();
+  for (auto& pump : state.pumps) pump->queue->close();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& pump : state.pumps) retiredPumps_.push_back(std::move(pump));
+  }
+  reapRetiredPumps();
+}
+
+void Server::reapRetiredPumps() {
+  // Pumps whose loop has exited get joined opportunistically (the join of a
+  // finished thread is immediate); the rest wait for shutdown()/~Server.
+  std::vector<std::unique_ptr<Pump>> done;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = retiredPumps_.begin();
+    while (it != retiredPumps_.end()) {
+      if ((*it)->done.load()) {
+        done.push_back(std::move(*it));
+        it = retiredPumps_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& pump : done) {
+    if (pump->thread.joinable()) pump->thread.join();
+  }
+}
+
+// -- frame dispatch (reactor thread) ------------------------------------------
+
+void Server::handleFrame(Reactor::ConnId conn, Frame&& frame) {
+  ++frames_;
+  if (!isRequestFrame(frame.type)) {
+    protocolFailure(conn, std::string("unexpected frame type ") +
+                              frameTypeName(frame.type));
+    return;
+  }
+  json::Value req;
+  try {
+    req = json::parse(frame.payload);
+  } catch (const std::exception& e) {
+    protocolFailure(conn,
+                    std::string("unparseable request payload: ") + e.what());
+    return;
+  }
+  const json::Value* reqField = req.find("req");
+  if (reqField == nullptr || reqField->kind() != json::Kind::Number) {
+    protocolFailure(conn, "request payload has no numeric 'req' id");
+    return;
+  }
+  const double reqId = reqField->asNumber();
+  try {
+    dispatch(conn, frame.type, req, reqId);
+  } catch (const std::exception& e) {
+    sendError(conn, reqId, e);
+  }
+}
+
+void Server::dispatch(Reactor::ConnId conn, FrameType type,
+                      const json::Value& req, double reqId) {
+  const bool mutating = type == FrameType::Open || type == FrameType::Apply ||
+                        type == FrameType::Subscribe ||
+                        type == FrameType::CloseSession;
+  if (draining_.load() && mutating) {
+    // The peer already got (or is about to get) the Shutdown frame; refuse
+    // new work as Transient so a retrying client fails over, while reads
+    // keep answering during the drain window.
+    throw adpm::TransientError("server is draining");
+  }
+
+  switch (type) {
+    case FrameType::Open: {
+      if (!options_.allowOpen) {
+        throw adpm::InvalidArgumentError(
+            "remote session open is disabled on this server");
+      }
+      const std::string id = req.at("session").asString();
+      bool adpm = true;
+      if (const json::Value* a = req.find("adpm")) adpm = a->asBool();
+      dpm::ScenarioSpec parsed;
+      const dpm::ScenarioSpec* spec = nullptr;
+      if (const json::Value* d = req.find("dddl")) {
+        parsed = dddl::parse(d->asString());
+        spec = &parsed;
+      } else if (const json::Value* s = req.find("scenario")) {
+        if (!options_.scenarioByName) {
+          throw adpm::InvalidArgumentError(
+              "this server has no scenario registry; open with 'dddl'");
+        }
+        spec = options_.scenarioByName(s->asString());
+        if (spec == nullptr) {
+          throw adpm::InvalidArgumentError("unknown scenario '" +
+                                           s->asString() + "'");
+        }
+      } else {
+        throw adpm::InvalidArgumentError(
+            "open needs a 'dddl' or 'scenario' field");
+      }
+      // The canonical DDDL rendering is the contract that lets the client
+      // build a bit-identical local shadow of the server's session.
+      const std::string canonical = dddl::write(*spec);
+      store_.open(id, *spec, adpm);
+      json::Value body{json::Object{}};
+      body.set("req", reqId);
+      body.set("session", id);
+      body.set("adpm", adpm);
+      body.set("dddl", canonical);
+      sendResult(conn, std::move(body));
+      return;
+    }
+
+    case FrameType::Apply: {
+      const std::string id = req.at("session").asString();
+      dpm::Operation op = dpm::operationFromJson(req.at("op"));
+      const auto received = std::chrono::steady_clock::now();
+      const std::chrono::milliseconds timeout = effectiveTimeout();
+      (void)store_.withSession(
+          id, [this, conn, reqId, id, received, timeout,
+               op = std::move(op)](service::Session& session) mutable {
+            try {
+              if (timeout.count() > 0 &&
+                  std::chrono::steady_clock::now() - received >= timeout) {
+                ++timeouts_;
+                throw adpm::TimeoutError(
+                    "command 'applyOperation' on session '" + id +
+                    "' exceeded its deadline while queued");
+              }
+              const auto result = session.apply(std::move(op));
+              json::Value body{json::Object{}};
+              body.set("req", reqId);
+              body.set("record", operationRecordToJson(result.record));
+              body.set("notifications", result.notifications.size());
+              sendResult(conn, std::move(body));
+            } catch (const std::exception& e) {
+              sendError(conn, reqId, e);
+            }
+          });
+      return;
+    }
+
+    case FrameType::Guidance: {
+      const std::string id = req.at("session").asString();
+      (void)store_.withSession(
+          id, [this, conn, reqId](service::Session& session) {
+            try {
+              json::Value body{json::Object{}};
+              body.set("req", reqId);
+              const constraint::GuidanceReport* g =
+                  session.manager().latestGuidance();
+              body.set("present", g != nullptr);
+              if (g != nullptr) {
+                body.set("properties", g->properties.size());
+                body.set("violated", g->violated.size());
+                body.set("extraEvaluations", g->extraEvaluations);
+              }
+              sendResult(conn, std::move(body));
+            } catch (const std::exception& e) {
+              sendError(conn, reqId, e);
+            }
+          });
+      return;
+    }
+
+    case FrameType::Verify: {
+      const std::string id = req.at("session").asString();
+      (void)store_.withSession(
+          id, [this, conn, reqId](service::Session& session) {
+            try {
+              const service::Session::VerifyResult result = session.verify();
+              json::Array violated;
+              violated.reserve(result.violated.size());
+              for (const constraint::ConstraintId c : result.violated) {
+                violated.push_back(
+                    json::Value(static_cast<std::size_t>(c.value)));
+              }
+              json::Value body{json::Object{}};
+              body.set("req", reqId);
+              body.set("violated", std::move(violated));
+              body.set("evaluations", result.evaluations);
+              sendResult(conn, std::move(body));
+            } catch (const std::exception& e) {
+              sendError(conn, reqId, e);
+            }
+          });
+      return;
+    }
+
+    case FrameType::Snapshot: {
+      const std::string id = req.at("session").asString();
+      bool withText = false;
+      if (const json::Value* t = req.find("text")) withText = t->asBool();
+      (void)store_.withSession(
+          id, [this, conn, reqId, withText](service::Session& session) {
+            try {
+              json::Value body{json::Object{}};
+              body.set("req", reqId);
+              body.set("snapshot",
+                       snapshotToJson(session.snapshot(), withText));
+              sendResult(conn, std::move(body));
+            } catch (const std::exception& e) {
+              sendError(conn, reqId, e);
+            }
+          });
+      return;
+    }
+
+    case FrameType::Subscribe: {
+      const std::string id = req.at("session").asString();
+      const std::string designer = req.at("designer").asString();
+      auto queue = store_.subscribe(id, designer);
+      startPump(conn, id, designer, std::move(queue));
+      json::Value body{json::Object{}};
+      body.set("req", reqId);
+      body.set("session", id);
+      body.set("designer", designer);
+      body.set("subscribed", true);
+      sendResult(conn, std::move(body));
+      return;
+    }
+
+    case FrameType::Status: {
+      json::Value body = statusJson();
+      body.set("req", reqId);
+      sendResult(conn, std::move(body));
+      return;
+    }
+
+    case FrameType::CloseSession: {
+      const std::string id = req.at("session").asString();
+      store_.close(id);
+      json::Value body{json::Object{}};
+      body.set("req", reqId);
+      body.set("session", id);
+      body.set("closed", true);
+      sendResult(conn, std::move(body));
+      return;
+    }
+
+    default:
+      protocolFailure(conn, std::string("unhandled request frame type ") +
+                                frameTypeName(type));
+  }
+}
+
+json::Value Server::statusJson() {
+  json::Value v{json::Object{}};
+
+  json::Array ids;
+  for (const std::string& id : store_.ids()) ids.push_back(json::Value(id));
+  v.set("sessions", std::move(ids));
+  v.set("draining", draining_.load());
+
+  json::Value store{json::Object{}};
+  store.set("retries", store_.retries());
+  store.set("timeouts", store_.timeouts());
+  v.set("store", std::move(store));
+
+  const service::NotificationBus& bus = store_.bus();
+  json::Value busJson{json::Object{}};
+  busJson.set("published", bus.published());
+  busJson.set("delivered", bus.delivered());
+  busJson.set("unrouted", bus.unrouted());
+  busJson.set("dropped", bus.dropped());
+  busJson.set("downgrades", bus.downgrades());
+  busJson.set("coalesced", bus.coalesced());
+  json::Array subscribers;
+  for (const service::NotificationBus::SubscriberStats& s :
+       bus.subscriberStats()) {
+    json::Value sub{json::Object{}};
+    sub.set("session", s.sessionId);
+    sub.set("designer", s.designer);
+    sub.set("depth", s.queueDepth);
+    sub.set("capacity", s.queueCapacity);
+    sub.set("dropped", s.dropped);
+    sub.set("degraded", s.degraded);
+    sub.set("downgrades", s.downgrades);
+    sub.set("coalesced", s.coalesced);
+    subscribers.push_back(std::move(sub));
+  }
+  busJson.set("subscribers", std::move(subscribers));
+  v.set("bus", std::move(busJson));
+
+  const Stats s = stats();
+  json::Value server{json::Object{}};
+  server.set("accepted", s.accepted);
+  server.set("closed", s.closed);
+  server.set("frames", s.frames);
+  server.set("results", s.results);
+  server.set("errors", s.errors);
+  server.set("protocolErrors", s.protocolErrors);
+  server.set("timeouts", s.timeouts);
+  server.set("pushes", s.pushes);
+  server.set("subscriptions", s.subscriptions);
+  v.set("server", std::move(server));
+  return v;
+}
+
+// -- responses ----------------------------------------------------------------
+
+void Server::sendResult(Reactor::ConnId conn, json::Value body) {
+  if (reactor_->send(conn, FrameType::Result, json::serialize(body))) {
+    ++results_;
+  }
+}
+
+void Server::sendError(Reactor::ConnId conn, double reqId,
+                       const std::exception& e) {
+  const char* name = wireErrorName(e);
+  json::Value body{json::Object{}};
+  body.set("req", reqId);
+  body.set("error", name);
+  body.set("message", std::string(e.what()));
+  if (reactor_->send(conn, FrameType::Error, json::serialize(body))) {
+    ++errors_;
+  }
+}
+
+void Server::protocolFailure(Reactor::ConnId conn, const std::string& message) {
+  ++protocolErrors_;
+  json::Value body{json::Object{}};
+  body.set("error", "Protocol");
+  body.set("message", message);
+  reactor_->send(conn, FrameType::Error, json::serialize(body));
+  reactor_->close(conn, /*flushFirst=*/true);
+}
+
+// -- subscription pumps -------------------------------------------------------
+
+void Server::startPump(Reactor::ConnId conn, const std::string& sessionId,
+                       const std::string& designer,
+                       std::shared_ptr<service::NotificationBus::Queue> queue) {
+  (void)designer;
+  ++subscriptions_;
+  std::shared_ptr<Gate> gate;
+  Pump* raw = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = conns_.find(conn);
+    if (it == conns_.end()) {
+      queue->close();
+      return;
+    }
+    gate = it->second.gate;
+    auto pump = std::make_unique<Pump>();
+    pump->queue = queue;
+    raw = pump.get();
+    it->second.pumps.push_back(std::move(pump));
+  }
+  raw->thread = std::thread([this, conn, sessionId, queue = std::move(queue),
+                             gate = std::move(gate), raw]() mutable {
+    pumpLoop(conn, std::move(sessionId), std::move(queue), std::move(gate),
+             raw);
+  });
+}
+
+void Server::pumpLoop(Reactor::ConnId conn, std::string sessionId,
+                      std::shared_ptr<service::NotificationBus::Queue> queue,
+                      std::shared_ptr<Gate> gate, Pump* self) {
+  for (;;) {
+    std::optional<dpm::Notification> n = queue->pop();
+    if (!n) break;  // queue closed and drained: session or connection gone
+    const std::string payload =
+        json::serialize(notificationToJson(sessionId, *n));
+    bool alive;
+    {
+      // Backpressure: park while the connection's write buffer is above the
+      // reactor's high-water mark.  While parked, this pump stops draining
+      // its bus queue — which is exactly what arms the bus's degraded mode
+      // for a persistently slow consumer.  The wait re-polls on a short
+      // timer as well as on the onWritable signal.
+      std::unique_lock<std::mutex> lock(gate->mutex);
+      while (gate->open && !stopping_.load() &&
+             reactor_->queuedBytes(conn) >= options_.reactor.writeHighWater) {
+        gate->cv.wait_for(lock, std::chrono::milliseconds(50));
+      }
+      alive = gate->open && !stopping_.load();
+    }
+    if (!alive) break;
+    if (!reactor_->send(conn, FrameType::Notification, payload)) break;
+    ++pushes_;
+  }
+  self->done.store(true);
+}
+
+// -- shutdown -----------------------------------------------------------------
+
+bool Server::shutdown(std::chrono::milliseconds drainDeadline) {
+  if (!running_.load()) return true;
+  draining_.store(true);
+  reactor_->stopListening();
+
+  // Announce the stop: peers that see the Shutdown frame stop submitting,
+  // which (together with the draining_ refusal above) bounds the drain.
+  json::Value farewell{json::Object{}};
+  farewell.set("reason", "drain");
+  const std::string payload = json::serialize(farewell);
+  std::vector<Reactor::ConnId> ids;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ids.reserve(conns_.size());
+    for (const auto& [id, state] : conns_) ids.push_back(id);
+  }
+  for (const Reactor::ConnId id : ids) {
+    reactor_->send(id, FrameType::Shutdown, payload);
+  }
+
+  // Drain the strands with a deadline.  drain() blocks unconditionally, so
+  // it runs on a helper thread; when the deadline forces the stop the helper
+  // is detached — it finishes as soon as the stuck strand does, and the
+  // process (this is the forced-exit path) is about to end anyway.
+  struct DrainState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  auto state = std::make_shared<DrainState>();
+  std::thread drainer([this, state] {
+    store_.drain();
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->done = true;
+    }
+    state->cv.notify_all();
+  });
+  bool drained;
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    drained = state->cv.wait_for(lock, drainDeadline,
+                                 [&state] { return state->done; });
+  }
+  if (drained) {
+    drainer.join();
+  } else {
+    drainer.detach();
+  }
+
+  // Stop the pumps and close every connection — flushing queued responses
+  // and farewells when the drain completed, dropping them when it didn't.
+  stopping_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, connState] : conns_) connState.gate->cv.notify_all();
+    ids.clear();
+    for (const auto& [id, connState] : conns_) ids.push_back(id);
+  }
+  for (const Reactor::ConnId id : ids) {
+    reactor_->close(id, /*flushFirst=*/drained);
+  }
+  const auto flushDeadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (reactor_->connectionCount() > 0 &&
+         std::chrono::steady_clock::now() < flushDeadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  reactor_->stop();
+  if (reactorThread_.joinable()) reactorThread_.join();
+  // Reactor teardown destroyed the remaining connections, which retired
+  // every pump; join them all.
+  std::vector<std::unique_ptr<Pump>> pumps;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pumps.swap(retiredPumps_);
+  }
+  for (auto& pump : pumps) {
+    if (pump->thread.joinable()) pump->thread.join();
+  }
+  running_.store(false);
+  return drained;
+}
+
+void Server::kill() {
+  if (!running_.load()) return;
+  draining_.store(true);
+  stopping_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, state] : conns_) state.gate->cv.notify_all();
+  }
+  reactor_->stop();
+  if (reactorThread_.joinable()) reactorThread_.join();
+  // In-flight strand commands capture `this` to send their responses; wait
+  // for them (they finish promptly — their sends hit dead connections and
+  // drop) so destroying the Server right after kill() is safe.
+  store_.drain();
+  std::vector<std::unique_ptr<Pump>> pumps;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pumps.swap(retiredPumps_);
+  }
+  for (auto& pump : pumps) {
+    if (pump->thread.joinable()) pump->thread.join();
+  }
+  running_.store(false);
+}
+
+}  // namespace adpm::net

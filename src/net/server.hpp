@@ -1,0 +1,161 @@
+// TCP front-end for the design-session service.
+//
+// One Server exposes one service::SessionStore over the wire protocol
+// (net/frame.hpp + net/protocol.hpp).  The reactor thread parses frames off
+// every connection and dispatches:
+//
+//   * session commands (Apply/Guidance/Verify/Snapshot) are posted onto the
+//     owning session's strand via SessionStore::withSession — the strand
+//     executes the command with exclusive session access and sends the
+//     Result/Error frame itself, so the reactor never blocks on a command
+//     and a session's remote operations serialize exactly like local ones;
+//   * Subscribe registers the connection with the NotificationBus and
+//     spawns a pump that streams the queue as Notification push frames,
+//     parking on the connection's write-backpressure gate when the peer
+//     reads slowly — which fills the bus queue, which trips the bus's
+//     degraded mode, which coalesces the stream into one ResyncRequired
+//     marker (the PR-5 machinery, now end-to-end across the wire);
+//   * Open/Status/CloseSession run inline on the reactor thread (rare,
+//     cheap, or both).
+//
+// Failures round-trip the util/error.hpp taxonomy by name (see
+// net/protocol.hpp): a queued-too-long command fails with Timeout *without
+// executing*, a rolled-back WAL append fails Transient and the *client*
+// retries — CommandPolicy semantics, moved to the other end of the wire.
+//
+// Shutdown is graceful by default: stop accepting, announce Shutdown to
+// every peer (which stop submitting), drain the strands, flush and close
+// the connections.  shutdown() reports whether the drain completed within
+// its deadline — the CLI turns that into the exit code.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dpm/scenario.hpp"
+#include "net/reactor.hpp"
+#include "service/store.hpp"
+#include "util/json.hpp"
+
+namespace adpm::net {
+
+class Server {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 = ephemeral; start() returns the bound port.
+    std::uint16_t port = 0;
+    /// Allow clients to open sessions (Open frames).  Off = the operator
+    /// pre-opens sessions (or recovers them) and clients only drive them.
+    bool allowOpen = true;
+    /// Resolves an Open frame's scenario *name*; null = only DDDL-carrying
+    /// opens are accepted.  (The net layer does not link the scenario
+    /// registry; the CLI wires this up.)
+    std::function<const dpm::ScenarioSpec*(const std::string&)> scenarioByName;
+    /// Queue-time deadline for remote commands; 0 = the store's
+    /// CommandPolicy timeout.
+    std::chrono::milliseconds commandTimeout{0};
+    Reactor::Options reactor{};
+  };
+
+  struct Stats {
+    std::size_t accepted = 0;
+    std::size_t closed = 0;
+    std::size_t frames = 0;
+    std::size_t results = 0;
+    std::size_t errors = 0;          ///< Error frames sent (typed failures)
+    std::size_t protocolErrors = 0;  ///< malformed frames/payloads (conn dropped)
+    std::size_t timeouts = 0;        ///< commands shed by the queue deadline
+    std::size_t pushes = 0;          ///< Notification frames sent
+    std::size_t subscriptions = 0;
+  };
+
+  Server(service::SessionStore& store, Options options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the reactor thread.  Returns the port.
+  std::uint16_t start();
+
+  /// Graceful shutdown: stop accepting, push a Shutdown frame to every
+  /// connection, wait up to `drainDeadline` for the strands to drain, then
+  /// flush and close everything.  Returns true when the drain completed in
+  /// time (a clean stop), false when the deadline forced the stop.
+  bool shutdown(std::chrono::milliseconds drainDeadline);
+
+  /// Forced stop: no drain, no farewell.
+  void kill();
+
+  std::uint16_t port() const noexcept { return port_; }
+  bool running() const noexcept { return running_.load(); }
+  Stats stats() const;
+
+ private:
+  struct Gate {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool open = true;  // false once the connection died or the server stops
+  };
+
+  struct Pump {
+    std::thread thread;
+    std::shared_ptr<service::NotificationBus::Queue> queue;
+    std::atomic<bool> done{false};
+  };
+
+  struct ConnState {
+    std::shared_ptr<Gate> gate = std::make_shared<Gate>();
+    std::vector<std::unique_ptr<Pump>> pumps;
+  };
+
+  void handleAccept(Reactor::ConnId conn);
+  void handleFrame(Reactor::ConnId conn, Frame&& frame);
+  void handleClose(Reactor::ConnId conn);
+  void handleWritable(Reactor::ConnId conn);
+
+  void dispatch(Reactor::ConnId conn, FrameType type,
+                const util::json::Value& req, double reqId);
+  void sendResult(Reactor::ConnId conn, util::json::Value body);
+  void sendError(Reactor::ConnId conn, double reqId, const std::exception& e);
+  void protocolFailure(Reactor::ConnId conn, const std::string& message);
+  void startPump(Reactor::ConnId conn, const std::string& sessionId,
+                 const std::string& designer,
+                 std::shared_ptr<service::NotificationBus::Queue> queue);
+  void pumpLoop(Reactor::ConnId conn, std::string sessionId,
+                std::shared_ptr<service::NotificationBus::Queue> queue,
+                std::shared_ptr<Gate> gate, Pump* self);
+  void retireConn(Reactor::ConnId conn);
+  void reapRetiredPumps();
+  std::chrono::milliseconds effectiveTimeout() const;
+  util::json::Value statusJson();
+
+  service::SessionStore& store_;
+  Options options_;
+  std::unique_ptr<Reactor> reactor_;
+  std::thread reactorThread_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex mutex_;
+  std::map<Reactor::ConnId, ConnState> conns_;
+  std::vector<std::unique_ptr<Pump>> retiredPumps_;
+
+  std::atomic<std::size_t> accepted_{0}, closed_{0}, frames_{0}, results_{0},
+      errors_{0}, protocolErrors_{0}, timeouts_{0}, pushes_{0},
+      subscriptions_{0};
+};
+
+}  // namespace adpm::net

@@ -1,0 +1,167 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/frame.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace adpm::net {
+
+namespace {
+
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw ConnectionError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in resolveV4(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string node = host.empty() ? "0.0.0.0" : host;
+  if (node == "localhost") {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else if (inet_pton(AF_INET, node.c_str(), &addr.sin_addr) != 1) {
+    // Numeric IPv4 only: the service targets explicit loopback/LAN
+    // addresses; name resolution would drag in blocking DNS.
+    throw adpm::InvalidArgumentError("cannot parse IPv4 address '" + node +
+                                     "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+void ScopedFd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ScopedFd listenTcp(const std::string& host, std::uint16_t port) {
+  const sockaddr_in addr = resolveV4(host, port);
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throwErrno("socket()");
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    throwErrno("bind(" + host + ":" + std::to_string(port) + ")");
+  }
+  if (::listen(fd.get(), 128) != 0) throwErrno("listen()");
+  return fd;
+}
+
+std::uint16_t localPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throwErrno("getsockname()");
+  }
+  return ntohs(addr.sin_port);
+}
+
+ScopedFd connectTcp(const std::string& host, std::uint16_t port,
+                    int timeoutMs) {
+  const sockaddr_in addr = resolveV4(host, port);
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throwErrno("socket()");
+  setNonBlocking(fd.get(), true);
+  int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof addr);
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      throwErrno("connect(" + host + ":" + std::to_string(port) + ")");
+    }
+    if (!waitFd(fd.get(), /*forWrite=*/true, timeoutMs)) {
+      throw ConnectionError("connect(" + host + ":" + std::to_string(port) +
+                            ") timed out after " + std::to_string(timeoutMs) +
+                            "ms");
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      throw ConnectionError("connect(" + host + ":" + std::to_string(port) +
+                            ") failed: " + std::strerror(err ? err : errno));
+    }
+  }
+  setNonBlocking(fd.get(), false);
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+void setNonBlocking(int fd, bool nonBlocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throwErrno("fcntl(F_GETFL)");
+  const int want = nonBlocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) != 0) throwErrno("fcntl(F_SETFL)");
+}
+
+IoResult readSome(int fd, char* buf, std::size_t cap) {
+  if (ADPM_FAULT_POINT("net.read") != util::FaultAction::None) {
+    throw ConnectionError("injected net.read failure");
+  }
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, cap);
+    if (n > 0) return {IoStatus::Ok, static_cast<std::size_t>(n)};
+    if (n == 0) return {IoStatus::Eof, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::WouldBlock, 0};
+    }
+    throwErrno("read()");
+  }
+}
+
+IoResult writeSome(int fd, const char* buf, std::size_t n) {
+  const util::FaultAction fault = ADPM_FAULT_POINT("net.write");
+  if (fault == util::FaultAction::ShortWrite && n > 1) {
+    // Push a prefix onto the wire, then die: the peer sees a torn frame —
+    // the tear a mid-write crash leaves, which its parser must survive.
+    (void)::send(fd, buf, n / 2, MSG_NOSIGNAL);
+    throw ConnectionError("injected net.write short-write failure");
+  }
+  if (fault != util::FaultAction::None) {
+    throw ConnectionError("injected net.write failure");
+  }
+  for (;;) {
+    const ssize_t w = ::send(fd, buf, n, MSG_NOSIGNAL);
+    if (w >= 0) return {IoStatus::Ok, static_cast<std::size_t>(w)};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::WouldBlock, 0};
+    }
+    throwErrno("write()");
+  }
+}
+
+bool waitFd(int fd, bool forWrite, int timeoutMs) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = forWrite ? POLLOUT : POLLIN;
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeoutMs);
+    if (rc > 0) {
+      if (p.revents & (POLLERR | POLLNVAL)) {
+        throw ConnectionError("socket error while waiting");
+      }
+      return true;  // readable, writable, or HUP (read returns Eof)
+    }
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    throwErrno("poll()");
+  }
+}
+
+}  // namespace adpm::net

@@ -1,0 +1,89 @@
+// Thin POSIX TCP socket wrappers with fault-injection failpoints.
+//
+// Everything the net layer does with a file descriptor goes through these
+// helpers, for two reasons: (a) the error handling is uniform (hard socket
+// errors become ConnectionError, EAGAIN/EINTR are normalized for the
+// non-blocking reactor), and (b) the `net.accept` / `net.read` / `net.write`
+// failpoints (util/fault.hpp) live here, so the crash-torture methodology
+// extends across the wire — an armed plan tears connections at
+// deterministic points and the recovery story (client resync, server WAL
+// salvage) is tested, not assumed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace adpm::net {
+
+/// RAII file descriptor.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { reset(); }
+
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on host:port (TCP, SO_REUSEADDR).  port 0 binds an
+/// ephemeral port — read it back with localPort().  Throws adpm::Error.
+ScopedFd listenTcp(const std::string& host, std::uint16_t port);
+
+/// The locally bound port of a listening/connected socket.
+std::uint16_t localPort(int fd);
+
+/// Connects to host:port with a timeout.  Throws ConnectionError on
+/// failure/timeout.  The returned socket is blocking with TCP_NODELAY set
+/// (request/response frames must not sit in Nagle's buffer).
+ScopedFd connectTcp(const std::string& host, std::uint16_t port,
+                    int timeoutMs);
+
+void setNonBlocking(int fd, bool nonBlocking);
+
+/// Result of one non-blocking read/write attempt.
+enum class IoStatus : std::uint8_t {
+  Ok,         ///< `n` bytes transferred (n > 0)
+  WouldBlock, ///< no progress possible now (EAGAIN)
+  Eof,        ///< orderly peer close (read only)
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::WouldBlock;
+  std::size_t n = 0;
+};
+
+/// One read(2) attempt.  EINTR retries internally; hard errors (and the
+/// armed `net.read` failpoint) throw ConnectionError.
+IoResult readSome(int fd, char* buf, std::size_t cap);
+
+/// One write(2) attempt (MSG_NOSIGNAL — a dead peer must error, not
+/// SIGPIPE the server).  The `net.write` failpoint's ShortWrite action
+/// transfers a prefix then throws, leaving a genuinely torn frame on the
+/// wire.  Hard errors throw ConnectionError.
+IoResult writeSome(int fd, const char* buf, std::size_t n);
+
+/// Blocks until fd is readable (or writable with `forWrite`) or timeoutMs
+/// elapses (negative = forever).  Returns false on timeout.  Throws
+/// ConnectionError when the fd errors out.
+bool waitFd(int fd, bool forWrite, int timeoutMs);
+
+}  // namespace adpm::net

@@ -1,0 +1,201 @@
+#include "net/wire_load.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "dddl/parser.hpp"
+#include "dpm/manager.hpp"
+#include "dpm/scenario.hpp"
+#include "net/frame.hpp"
+#include "service/session.hpp"
+#include "teamsim/client.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace adpm::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Totals {
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> operations{0};
+  std::atomic<std::size_t> notifications{0};
+  std::atomic<std::size_t> resyncs{0};
+  std::atomic<std::size_t> digestMismatches{0};
+  std::atomic<std::size_t> reconnects{0};
+  std::atomic<std::size_t> transientRetries{0};
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::uint64_t> applyRttMicros{0};
+};
+
+struct ShadowSession {
+  dpm::ScenarioSpec spec;
+  std::unique_ptr<dpm::DesignProcessManager> dpm;
+  std::optional<teamsim::TeamClient> team;
+
+  /// Builds the shadow from the *server's* canonical DDDL: determinism of
+  /// instantiate + bootstrap + δ makes it bit-identical to the session.
+  void build(const std::string& dddl, const teamsim::SimulationOptions& sim) {
+    spec = dddl::parse(dddl);
+    dpm::DesignProcessManager::Options mo;
+    mo.adpm = sim.adpm;
+    dpm = std::make_unique<dpm::DesignProcessManager>(mo);
+    dpm::instantiate(spec, *dpm);
+    dpm->bootstrap();
+    team.emplace(*dpm, sim);
+  }
+};
+
+void subscribeSeats(Client& client, const std::string& id,
+                    const dpm::ScenarioSpec& spec) {
+  std::set<std::string> designers;
+  for (const dpm::ScenarioSpec::Prob& p : spec.problems) {
+    if (!p.owner.empty()) designers.insert(p.owner);
+  }
+  for (const std::string& designer : designers) {
+    client.subscribe(id, designer);
+  }
+}
+
+void driveSession(const WireLoadOptions& options, std::size_t index,
+                  Totals& totals) {
+  const std::string id = options.idPrefix + std::to_string(index);
+  teamsim::SimulationOptions sim = options.sim;
+  sim.seed = options.sim.seed + index;
+
+  Client::Options clientOptions = options.client;
+  clientOptions.host = options.host;
+  clientOptions.port = options.port;
+  Client client(clientOptions);
+  client.onNotification(
+      [&totals](const std::string&, const dpm::Notification& n) {
+        totals.notifications.fetch_add(1, std::memory_order_relaxed);
+        if (n.kind == dpm::NotificationKind::ResyncRequired) {
+          totals.resyncs.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+
+  ShadowSession shadow;
+  try {
+    client.connect();
+    const Client::OpenResult open =
+        options.dddl.empty()
+            ? client.openScenario(id, options.scenario, sim.adpm)
+            : client.openDddl(id, options.dddl, sim.adpm);
+    shadow.build(open.dddl, sim);
+    if (options.subscribe) subscribeSeats(client, id, shadow.spec);
+
+    std::size_t ops = 0;
+    unsigned reconnectsLeft = options.maxReconnects;
+    while (ops < options.maxOperationsPerSession &&
+           !client.serverShuttingDown()) {
+      std::optional<dpm::Operation> op = shadow.team->propose(*shadow.dpm);
+      if (!op) break;  // every designer idle: complete or deadlocked
+
+      // Apply remotely, then mirror locally.  A ConnectionError leaves the
+      // outcome ambiguous; the reconnect path disambiguates by comparing
+      // the server's stage against the shadow's.
+      bool applied = false;
+      while (!applied) {
+        try {
+          const auto t0 = Clock::now();
+          (void)client.apply(id, *op);
+          const auto rtt = std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - t0);
+          totals.applyRttMicros.fetch_add(
+              static_cast<std::uint64_t>(rtt.count()),
+              std::memory_order_relaxed);
+          applied = true;
+        } catch (const ConnectionError&) {
+          if (reconnectsLeft == 0) throw;
+          --reconnectsLeft;
+          totals.reconnects.fetch_add(1, std::memory_order_relaxed);
+          client.connect();
+          if (options.subscribe) subscribeSeats(client, id, shadow.spec);
+          const service::SessionSnapshot snap = client.snapshot(id, false);
+          if (snap.stage == shadow.dpm->stage() + 1) {
+            applied = true;  // the in-flight apply committed server-side
+          } else if (snap.stage != shadow.dpm->stage()) {
+            throw adpm::Error(
+                "session '" + id + "' diverged across reconnect (server at " +
+                std::to_string(snap.stage) + ", shadow at " +
+                std::to_string(shadow.dpm->stage()) + ")");
+          }
+          // stage == shadow stage: the apply never committed; resend it.
+        }
+      }
+      const dpm::DesignProcessManager::ExecResult local =
+          shadow.dpm->execute(std::move(*op));
+      shadow.team->observe(*shadow.dpm, local.record);
+      ++ops;
+      if (options.subscribe) client.pump(0);
+    }
+
+    totals.operations.fetch_add(ops, std::memory_order_relaxed);
+    if (shadow.dpm->designComplete()) {
+      totals.completed.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    if (options.verifyDigests) {
+      const service::SessionSnapshot snap = client.snapshot(id, false);
+      const std::string localDigest =
+          util::fnv1a64Hex(service::snapshotText(*shadow.dpm));
+      if (snap.digest != localDigest || snap.stage != shadow.dpm->stage()) {
+        totals.digestMismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (options.subscribe) client.pump(0);
+  } catch (const std::exception&) {
+    totals.failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  totals.transientRetries.fetch_add(client.transientRetries(),
+                                    std::memory_order_relaxed);
+}
+
+}  // namespace
+
+WireLoadReport runWireLoad(const WireLoadOptions& options) {
+  WireLoadReport report;
+  report.sessions = options.sessions;
+  if (options.sessions == 0) return report;
+
+  Totals totals;
+  const auto start = Clock::now();
+  std::vector<std::thread> drivers;
+  drivers.reserve(options.sessions);
+  for (std::size_t i = 0; i < options.sessions; ++i) {
+    drivers.emplace_back(
+        [&options, i, &totals] { driveSession(options, i, totals); });
+  }
+  for (std::thread& t : drivers) t.join();
+  const auto stop = Clock::now();
+
+  report.completedSessions = totals.completed.load();
+  report.operations = totals.operations.load();
+  report.notificationsReceived = totals.notifications.load();
+  report.resyncsRequired = totals.resyncs.load();
+  report.digestMismatches = totals.digestMismatches.load();
+  report.reconnects = totals.reconnects.load();
+  report.transientRetries = totals.transientRetries.load();
+  report.failedSessions = totals.failed.load();
+  report.wallSeconds = std::chrono::duration<double>(stop - start).count();
+  if (report.wallSeconds > 0.0) {
+    report.opsPerSecond =
+        static_cast<double>(report.operations) / report.wallSeconds;
+  }
+  if (report.operations > 0) {
+    report.applyRttMeanMicros =
+        static_cast<double>(totals.applyRttMicros.load()) /
+        static_cast<double>(report.operations);
+  }
+  return report;
+}
+
+}  // namespace adpm::net

@@ -71,6 +71,7 @@ void NotificationBus::publish(const std::string& sessionId,
             // ResyncRequired marker already in the queue.
             routed = true;
             ++coalesced;
+            sub.state->coalesced.fetch_add(1, std::memory_order_relaxed);
             continue;
           }
         } else if (sub.queue->size() >= highWater) {
@@ -80,6 +81,7 @@ void NotificationBus::publish(const std::string& sessionId,
           // (DropOldest).
           sub.state->degraded.store(true, std::memory_order_relaxed);
           ++downgrades;
+          sub.state->downgrades.fetch_add(1, std::memory_order_relaxed);
           dpm::Notification resync;
           resync.kind = dpm::NotificationKind::ResyncRequired;
           resync.designer = n.designer;
@@ -89,6 +91,7 @@ void NotificationBus::publish(const std::string& sessionId,
           if (sub.queue->push(std::move(resync))) ++delivered;
           routed = true;
           ++coalesced;
+          sub.state->coalesced.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
       }
@@ -177,6 +180,27 @@ std::size_t NotificationBus::coalesced() const {
 std::size_t NotificationBus::injectedFailures() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return injectedFailures_;
+}
+
+std::vector<NotificationBus::SubscriberStats> NotificationBus::subscriberStats()
+    const {
+  std::vector<SubscriberStats> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [sessionId, subs] : bySession_) {
+    for (const Subscription& sub : subs) {
+      SubscriberStats s;
+      s.sessionId = sessionId;
+      s.designer = sub.designer;
+      s.queueDepth = sub.queue->size();
+      s.queueCapacity = sub.queue->capacity();
+      s.dropped = sub.queue->dropped();
+      s.degraded = sub.state->degraded.load(std::memory_order_relaxed);
+      s.downgrades = sub.state->downgrades.load(std::memory_order_relaxed);
+      s.coalesced = sub.state->coalesced.load(std::memory_order_relaxed);
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
 }
 
 }  // namespace adpm::service

@@ -92,6 +92,24 @@ class NotificationBus {
   /// failpoints (fault-injection builds only).
   std::size_t injectedFailures() const;
 
+  /// Point-in-time view of one live subscriber, for the wire Status frame
+  /// and the bench recorder: queue pressure plus the per-subscriber
+  /// degraded-delivery history (the bus-wide downgrades()/coalesced()
+  /// counters, attributed).
+  struct SubscriberStats {
+    std::string sessionId;
+    std::string designer;
+    std::size_t queueDepth = 0;
+    std::size_t queueCapacity = 0;
+    std::size_t dropped = 0;     ///< DropOldest evictions on this queue
+    bool degraded = false;       ///< currently in coalesced delivery
+    std::size_t downgrades = 0;  ///< times this subscriber was downgraded
+    std::size_t coalesced = 0;   ///< events absorbed into its resync markers
+  };
+
+  /// One entry per live subscription, in subscribe order within a session.
+  std::vector<SubscriberStats> subscriberStats() const;
+
  private:
   /// Mutable per-subscriber state shared between publish() (which works on
   /// a snapshot of the subscription list, outside the bus lock) and the
@@ -99,6 +117,11 @@ class NotificationBus {
   /// serialized per session by the session's strand.
   struct SubscriberState {
     std::atomic<bool> degraded{false};
+    /// Per-subscriber attribution of the bus-wide degraded-mode counters
+    /// (relaxed: written by the per-session publisher strand, read by
+    /// subscriberStats()).
+    std::atomic<std::size_t> downgrades{0};
+    std::atomic<std::size_t> coalesced{0};
   };
 
   struct Subscription {

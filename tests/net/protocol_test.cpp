@@ -1,0 +1,170 @@
+#include "net/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/frame.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/json.hpp"
+
+namespace adpm::net {
+namespace {
+
+namespace json = util::json;
+using constraint::ConstraintId;
+using constraint::PropertyId;
+
+dpm::OperationRecord fullRecord() {
+  dpm::OperationRecord record;
+  record.stage = 12;
+  record.op.kind = dpm::OperatorKind::Synthesis;
+  record.op.problem = dpm::ProblemId{3};
+  record.op.designer = "ana";
+  record.op.assignments.emplace_back(PropertyId{1}, 1.0 / 3.0);
+  record.op.triggeredBy = ConstraintId{2};
+  record.op.rationale = "alpha=2";
+  record.evaluations = 77;
+  record.violationsFound = {ConstraintId{0}, ConstraintId{4}};
+  record.violationsKnownAfter = 2;
+  record.spin = true;
+  record.constraintsGenerated = {ConstraintId{9}};
+  return record;
+}
+
+TEST(Protocol, OperationRecordRoundTrips) {
+  const dpm::OperationRecord a = fullRecord();
+  const dpm::OperationRecord b =
+      operationRecordFromJson(operationRecordToJson(a));
+  EXPECT_EQ(a.stage, b.stage);
+  EXPECT_EQ(a.op.designer, b.op.designer);
+  ASSERT_EQ(a.op.assignments.size(), b.op.assignments.size());
+  // Bit-identical doubles: the wire uses the same %.17g canonical JSON the
+  // WAL journals.
+  EXPECT_EQ(a.op.assignments[0].second, b.op.assignments[0].second);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  ASSERT_EQ(a.violationsFound.size(), b.violationsFound.size());
+  EXPECT_EQ(a.violationsFound[1].value, b.violationsFound[1].value);
+  EXPECT_EQ(a.violationsKnownAfter, b.violationsKnownAfter);
+  EXPECT_EQ(a.spin, b.spin);
+  ASSERT_EQ(a.constraintsGenerated.size(), b.constraintsGenerated.size());
+  EXPECT_EQ(a.constraintsGenerated[0].value, b.constraintsGenerated[0].value);
+}
+
+TEST(Protocol, OperationRecordEncodingIsStable) {
+  const json::Value v = operationRecordToJson(fullRecord());
+  const std::string once = json::serialize(v);
+  const std::string twice =
+      json::serialize(operationRecordToJson(operationRecordFromJson(v)));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Protocol, NotificationRoundTripsWithOptionals) {
+  dpm::Notification n;
+  n.kind = dpm::NotificationKind::ViolationDetected;
+  n.designer = "bob";
+  n.stage = 4;
+  n.constraintId = ConstraintId{7};
+  n.propertyId = PropertyId{2};
+  n.text = "constraint \"budget\" violated";
+  const json::Value v = notificationToJson("sess-1", n);
+  EXPECT_EQ(v.at("session").asString(), "sess-1");
+  const dpm::Notification back = notificationFromJson(v);
+  EXPECT_EQ(back.kind, n.kind);
+  EXPECT_EQ(back.designer, n.designer);
+  EXPECT_EQ(back.stage, n.stage);
+  ASSERT_TRUE(back.constraintId.has_value());
+  EXPECT_EQ(back.constraintId->value, 7u);
+  ASSERT_TRUE(back.propertyId.has_value());
+  EXPECT_EQ(back.propertyId->value, 2u);
+  EXPECT_EQ(back.text, n.text);
+}
+
+TEST(Protocol, NotificationOmitsAbsentOptionals) {
+  dpm::Notification n;
+  n.kind = dpm::NotificationKind::ResyncRequired;
+  n.designer = "bob";
+  n.stage = 1;
+  n.text = "resync";
+  const json::Value v = notificationToJson("s", n);
+  EXPECT_EQ(v.find("constraint"), nullptr);
+  EXPECT_EQ(v.find("property"), nullptr);
+  const dpm::Notification back = notificationFromJson(v);
+  EXPECT_FALSE(back.constraintId.has_value());
+  EXPECT_FALSE(back.propertyId.has_value());
+  EXPECT_EQ(back.kind, dpm::NotificationKind::ResyncRequired);
+}
+
+TEST(Protocol, UnknownNotificationKindThrows) {
+  EXPECT_THROW(notificationKindFromName("Gossip"), adpm::InvalidArgumentError);
+}
+
+TEST(Protocol, SnapshotRoundTripsWithAndWithoutText) {
+  service::SessionSnapshot snap;
+  snap.id = "s0";
+  snap.stage = 9;
+  snap.complete = true;
+  snap.evaluations = 123;
+  snap.violations = 1;
+  snap.text = "property p = [1,2]\n";
+  snap.digest = "00ff00ff00ff00ff";
+
+  const service::SessionSnapshot with =
+      snapshotFromJson(snapshotToJson(snap, /*withText=*/true));
+  EXPECT_EQ(with.id, snap.id);
+  EXPECT_EQ(with.stage, snap.stage);
+  EXPECT_EQ(with.complete, snap.complete);
+  EXPECT_EQ(with.evaluations, snap.evaluations);
+  EXPECT_EQ(with.violations, snap.violations);
+  EXPECT_EQ(with.text, snap.text);
+  EXPECT_EQ(with.digest, snap.digest);
+
+  const service::SessionSnapshot without =
+      snapshotFromJson(snapshotToJson(snap, /*withText=*/false));
+  EXPECT_EQ(without.digest, snap.digest);
+  EXPECT_TRUE(without.text.empty());
+}
+
+TEST(Protocol, WireErrorNamesFollowTheTaxonomy) {
+  EXPECT_STREQ(wireErrorName(adpm::TimeoutError("t")), "Timeout");
+  EXPECT_STREQ(wireErrorName(adpm::TransientError("t")), "Transient");
+  // FaultInjectedError IS-A TransientError and must stay retryable.
+  EXPECT_STREQ(wireErrorName(adpm::FaultInjectedError("f")), "Transient");
+  EXPECT_STREQ(wireErrorName(adpm::InvalidArgumentError("i")),
+               "InvalidArgument");
+  EXPECT_STREQ(wireErrorName(ProtocolError("p")), "Protocol");
+  EXPECT_STREQ(wireErrorName(adpm::ParseError("p", 1, 2)), "Parse");
+  EXPECT_STREQ(wireErrorName(adpm::Error("e")), "Error");
+  EXPECT_STREQ(wireErrorName(std::runtime_error("r")), "Internal");
+}
+
+TEST(Protocol, ThrowWireErrorRebuildsTypedExceptions) {
+  EXPECT_THROW(throwWireError("Timeout", "m"), adpm::TimeoutError);
+  EXPECT_THROW(throwWireError("Transient", "m"), adpm::TransientError);
+  EXPECT_THROW(throwWireError("InvalidArgument", "m"),
+               adpm::InvalidArgumentError);
+  EXPECT_THROW(throwWireError("Protocol", "m"), ProtocolError);
+  EXPECT_THROW(throwWireError("Error", "m"), adpm::Error);
+  EXPECT_THROW(throwWireError("SomethingNew", "m"), adpm::Error);
+  // A Timeout must not be catchable as Transient (it may have executed).
+  bool caughtAsTransient = false;
+  try {
+    throwWireError("Timeout", "m");
+  } catch (const adpm::TransientError&) {
+    caughtAsTransient = true;
+  } catch (const adpm::Error&) {
+  }
+  EXPECT_FALSE(caughtAsTransient);
+}
+
+TEST(Protocol, ErrorMessageSurvivesTheRoundTrip) {
+  try {
+    throwWireError(wireErrorName(adpm::TransientError("wal append rolled back")),
+                   "wal append rolled back");
+    FAIL() << "did not throw";
+  } catch (const adpm::TransientError& e) {
+    EXPECT_STREQ(e.what(), "wal append rolled back");
+  }
+}
+
+}  // namespace
+}  // namespace adpm::net
