@@ -11,6 +11,8 @@
 #include "constraint/propagate.hpp"
 #include "dpm/scenario.hpp"
 #include "expr/sweep.hpp"
+#include "gen/generator.hpp"
+#include "gen/presets.hpp"
 #include "scenarios/receiver.hpp"
 #include "scenarios/sensing.hpp"
 #include "teamsim/engine.hpp"
@@ -146,6 +148,36 @@ BENCHMARK(BM_MineGuidance)
     ->Args({1, 1})
     ->Args({1, 2})
     ->ArgNames({"receiver", "mode"});
+
+// Size sweep over the generated scenario zoo (~10 → ~6000 constraints).
+// Zoom levels are forced eager so the whole network is active and the
+// constraint count really is the series' x-axis; the `constraints` /
+// `properties` counters carry it into BENCH_propagation.json.
+void BM_PropagationGeneratedSweep(benchmark::State& state) {
+  static constexpr const char* kPresets[] = {"zoo-toy", "zoo-small",
+                                             "zoo-medium", "zoo-large",
+                                             "zoo-xl"};
+  gen::GenParams params =
+      gen::zooPreset(kPresets[static_cast<std::size_t>(state.range(0))]);
+  for (auto& level : params.zoom) level.deferred = false;
+
+  auto mgr = std::make_unique<dpm::DesignProcessManager>(
+      dpm::DesignProcessManager::Options{.adpm = true});
+  dpm::instantiate(gen::generate(params).spec, *mgr);
+  constraint::Propagator prop;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prop.run(mgr->network()));
+  }
+  state.counters["constraints"] = benchmark::Counter(
+      static_cast<double>(mgr->network().constraintIds().size()));
+  state.counters["properties"] = benchmark::Counter(
+      static_cast<double>(mgr->network().propertyIds().size()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PropagationGeneratedSweep)
+    ->DenseRange(0, 4)
+    ->ArgNames({"zoo"})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_FullSimulation(benchmark::State& state) {
   const bool receiver = state.range(0) != 0;

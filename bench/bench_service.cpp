@@ -16,6 +16,8 @@
 #include <string>
 
 #include "dddl/writer.hpp"
+#include "gen/generator.hpp"
+#include "gen/presets.hpp"
 #include "net/server.hpp"
 #include "net/wire_load.hpp"
 #include "scenarios/sensing.hpp"
@@ -105,6 +107,52 @@ BENCHMARK(BM_ServiceFleetJournaled)
     ->Arg(4)
     ->ArgNames({"workers"})
     ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Size sweep: the same fleet on generated zoo scenarios of increasing
+// constraint count (the `constraints` counter is the x-axis).  Per-session
+// operations are capped tightly: on the larger networks each operation costs
+// milliseconds of propagation, so the cap keeps an iteration bounded while
+// still measuring the per-operation service cost at that size (ops_per_sec
+// is a rate, not a completion count — zoo-toy finishes, the rest won't).
+void BM_ServiceFleetGenerated(benchmark::State& state) {
+  static constexpr const char* kPresets[] = {"zoo-toy", "zoo-small",
+                                             "zoo-medium"};
+  const dpm::ScenarioSpec spec =
+      gen::generate(
+          gen::zooPreset(kPresets[static_cast<std::size_t>(state.range(0))]))
+          .spec;
+
+  std::size_t operations = 0;
+  double wall = 0.0;
+  for (auto _ : state) {
+    service::SessionStore::Options options;
+    options.executor.threads = 4;
+    service::SessionStore store{std::move(options)};
+
+    service::LoadOptions load;
+    load.sessions = 4;
+    load.sim.adpm = true;
+    load.sim.seed = 1;
+    load.maxOperationsPerSession = 100;
+    const service::LoadReport report = runLoad(store, spec, load);
+    benchmark::DoNotOptimize(report.operations);
+    operations += report.operations;
+    wall += report.wallSeconds;
+  }
+  state.counters["constraints"] =
+      benchmark::Counter(static_cast<double>(spec.constraints.size()));
+  if (wall > 0.0) {
+    state.counters["ops_per_sec"] =
+        benchmark::Counter(static_cast<double>(operations) / wall);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(operations));
+}
+BENCHMARK(BM_ServiceFleetGenerated)
+    ->DenseRange(0, 2)
+    ->ArgNames({"zoo"})
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
     ->UseRealTime();
 
 void BM_ServiceWire(benchmark::State& state) {

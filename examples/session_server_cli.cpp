@@ -28,10 +28,7 @@
 
 #include "net/server.hpp"
 #include "net/wire_load.hpp"
-#include "scenarios/accelerometer.hpp"
-#include "scenarios/receiver.hpp"
-#include "scenarios/sensing.hpp"
-#include "scenarios/walkthrough.hpp"
+#include "gen/registry.hpp"
 #include "service/store.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
@@ -68,15 +65,6 @@ int usage() {
   return 2;
 }
 
-dpm::ScenarioSpec scenarioByName(const std::string& name) {
-  if (name == "sensing") return scenarios::sensingSystemScenario();
-  if (name == "receiver") return scenarios::receiverScenario();
-  if (name == "receiver4") return scenarios::receiverLargeTeamScenario();
-  if (name == "accelerometer") return scenarios::accelerometerScenario();
-  if (name == "walkthrough") return scenarios::walkthroughScenario();
-  throw adpm::InvalidArgumentError("unknown scenario '" + name + "'");
-}
-
 /// Registry for the server's Open-by-name path; specs are cached so the
 /// resolver can hand out stable pointers.
 const dpm::ScenarioSpec* resolveScenario(const std::string& name) {
@@ -86,7 +74,7 @@ const dpm::ScenarioSpec* resolveScenario(const std::string& name) {
   auto it = cache.find(name);
   if (it == cache.end()) {
     try {
-      it = cache.emplace(name, scenarioByName(name)).first;
+      it = cache.emplace(name, gen::scenarioByName(name)).first;
     } catch (const adpm::Error&) {
       return nullptr;
     }

@@ -20,11 +20,9 @@
 #include <vector>
 
 #include "dddl/writer.hpp"
+#include "gen/generator.hpp"
+#include "gen/registry.hpp"
 #include "net/wire_load.hpp"
-#include "scenarios/accelerometer.hpp"
-#include "scenarios/receiver.hpp"
-#include "scenarios/sensing.hpp"
-#include "scenarios/walkthrough.hpp"
 #include "service/load.hpp"
 #include "service/store.hpp"
 #include "util/error.hpp"
@@ -39,7 +37,13 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: session_service_cli [options]\n"
-      "  --scenario <sensing|receiver|receiver4|accelerometer|walkthrough>\n"
+      "  --scenario <name>              registered scenario (see dddl_tool\n"
+      "                                 list); includes generated zoo presets\n"
+      "  --gen <paramfile.json>         generate the scenario from a\n"
+      "                                 paramfile instead (works with\n"
+      "                                 --connect: the generated DDDL is\n"
+      "                                 shipped over the wire)\n"
+      "  --gen-seed <n>                 generator seed override\n"
       "  --sessions <n>                 concurrent sessions (default 8)\n"
       "  --threads <n>                  worker threads (default 4)\n"
       "  --deterministic                single-threaded inline execution\n"
@@ -66,15 +70,6 @@ int usage() {
   return 2;
 }
 
-dpm::ScenarioSpec scenarioByName(const std::string& name) {
-  if (name == "sensing") return scenarios::sensingSystemScenario();
-  if (name == "receiver") return scenarios::receiverScenario();
-  if (name == "receiver4") return scenarios::receiverLargeTeamScenario();
-  if (name == "accelerometer") return scenarios::accelerometerScenario();
-  if (name == "walkthrough") return scenarios::walkthroughScenario();
-  throw adpm::InvalidArgumentError("unknown scenario '" + name + "'");
-}
-
 void printSessions(service::SessionStore& store) {
   util::TextTable t;
   t.header({"session", "stage", "complete", "evals", "violations", "digest"});
@@ -91,6 +86,9 @@ void printSessions(service::SessionStore& store) {
 
 int main(int argc, char** argv) {
   std::string scenarioName = "sensing";
+  std::string genFile;
+  std::uint64_t genSeed = 0;
+  bool haveGenSeed = false;
   std::size_t sessions = 8;
   unsigned threads = 4;
   bool deterministic = false;
@@ -115,6 +113,11 @@ int main(int argc, char** argv) {
     };
     if (arg == "--scenario") {
       scenarioName = next();
+    } else if (arg == "--gen") {
+      genFile = next();
+    } else if (arg == "--gen-seed") {
+      genSeed = std::strtoull(next(), nullptr, 10);
+      haveGenSeed = true;
     } else if (arg == "--sessions") {
       sessions = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--threads") {
@@ -157,6 +160,17 @@ int main(int argc, char** argv) {
 #endif
     }
 
+    dpm::ScenarioSpec spec;
+    if (!genFile.empty()) {
+      const gen::GenParams params = gen::loadParams(genFile);
+      spec = (haveGenSeed ? gen::generate(params, genSeed)
+                          : gen::generate(params))
+                 .spec;
+      scenarioName = spec.name;
+    } else {
+      spec = gen::scenarioByName(scenarioName);
+    }
+
     if (!connect.empty()) {
       const std::size_t colon = connect.rfind(':');
       if (colon == std::string::npos) {
@@ -174,7 +188,7 @@ int main(int argc, char** argv) {
       wire.idPrefix = idPrefix;
       // Ship the scenario as DDDL so any server accepts it, registry or not;
       // the server replies with its canonical rendering for the shadow.
-      wire.dddl = dddl::write(scenarioByName(scenarioName));
+      wire.dddl = dddl::write(spec);
 
       const net::WireLoadReport report = runWireLoad(wire);
       std::printf(
@@ -236,8 +250,7 @@ int main(int argc, char** argv) {
     load.sim.seed = seed;
     load.maxOperationsPerSession = maxOps;
 
-    const service::LoadReport report =
-        runLoad(store, scenarioByName(scenarioName), load);
+    const service::LoadReport report = runLoad(store, spec, load);
 
     const std::string workers =
         deterministic ? "inline" : std::to_string(threads);

@@ -1,9 +1,11 @@
-// TeamSim command-line runner: run any built-in scenario or a DDDL file
-// under either process flow, with optional per-operation tracing.
+// TeamSim command-line runner: run any registered scenario, a DDDL file, or
+// a generated scenario from a paramfile under either process flow, with
+// optional per-operation tracing.
 //
 //   $ ./teamsim_cli --scenario receiver --adpm --seed 42 --trace
-//   $ ./teamsim_cli --scenario sensing --conventional --seeds 30
+//   $ ./teamsim_cli --scenario zoo-small --conventional --seeds 30
 //   $ ./teamsim_cli --file myscenario.dddl --adpm
+//   $ ./teamsim_cli --gen scenarios/zoo/zoo-toy.json --gen-seed 7 --adpm
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -11,10 +13,8 @@
 #include <string>
 
 #include "dddl/parser.hpp"
-#include "scenarios/accelerometer.hpp"
-#include "scenarios/receiver.hpp"
-#include "scenarios/sensing.hpp"
-#include "scenarios/walkthrough.hpp"
+#include "gen/generator.hpp"
+#include "gen/registry.hpp"
 #include "teamsim/experiment.hpp"
 #include "teamsim/export.hpp"
 #include "teamsim/graphviz.hpp"
@@ -30,8 +30,10 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: teamsim_cli [options]\n"
-      "  --scenario <sensing|receiver|receiver4|accelerometer|walkthrough>\n"
+      "  --scenario <name>                           registered scenario\n"
       "  --file <path.dddl>                          DDDL scenario file\n"
+      "  --gen <paramfile.json>                      generate from paramfile\n"
+      "  --gen-seed <n>                              generator seed override\n"
       "  --adpm | --conventional                     process flow (default ADPM)\n"
       "  --seed <n>                                  single-run seed (default 1)\n"
       "  --seeds <n>                                 run a sweep of n seeds\n"
@@ -64,6 +66,9 @@ void printTrace(const teamsim::SimulationEngine& engine) {
 int main(int argc, char** argv) {
   std::string scenarioName = "receiver";
   std::string file;
+  std::string genFile;
+  std::uint64_t genSeed = 0;
+  bool haveGenSeed = false;
   bool adpm = true;
   std::uint64_t seed = 1;
   std::size_t seeds = 0;
@@ -85,6 +90,11 @@ int main(int argc, char** argv) {
       scenarioName = next();
     } else if (arg == "--file") {
       file = next();
+    } else if (arg == "--gen") {
+      genFile = next();
+    } else if (arg == "--gen-seed") {
+      genSeed = std::strtoull(next(), nullptr, 10);
+      haveGenSeed = true;
     } else if (arg == "--adpm") {
       adpm = true;
     } else if (arg == "--conventional") {
@@ -108,7 +118,12 @@ int main(int argc, char** argv) {
 
   try {
     dpm::ScenarioSpec spec;
-    if (!file.empty()) {
+    if (!genFile.empty()) {
+      const gen::GenParams params = gen::loadParams(genFile);
+      spec = (haveGenSeed ? gen::generate(params, genSeed)
+                          : gen::generate(params))
+                 .spec;
+    } else if (!file.empty()) {
       std::ifstream in(file);
       if (!in) {
         std::fprintf(stderr, "cannot open '%s'\n", file.c_str());
@@ -117,18 +132,8 @@ int main(int argc, char** argv) {
       std::ostringstream text;
       text << in.rdbuf();
       spec = dddl::parse(text.str());
-    } else if (scenarioName == "sensing") {
-      spec = scenarios::sensingSystemScenario();
-    } else if (scenarioName == "receiver") {
-      spec = scenarios::receiverScenario();
-    } else if (scenarioName == "receiver4") {
-      spec = scenarios::receiverLargeTeamScenario();
-    } else if (scenarioName == "accelerometer") {
-      spec = scenarios::accelerometerScenario();
-    } else if (scenarioName == "walkthrough") {
-      spec = scenarios::walkthroughScenario();
     } else {
-      return usage();
+      spec = gen::scenarioByName(scenarioName);
     }
 
     teamsim::SimulationOptions options;

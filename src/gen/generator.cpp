@@ -1,0 +1,605 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace adpm::gen {
+
+namespace {
+
+using constraint::Relation;
+using dpm::ScenarioSpec;
+using expr::Expr;
+using interval::Domain;
+
+/// Unit pool cycled over generated properties (display-only flavour).
+const char* kUnits[] = {"um", "mW", "pF", "kHz", "MHz", "V", "Ohm", "%", "dB"};
+
+/// Constant in parser-normal form: DDDL's grammar has no negative number
+/// literals (unary minus is an operator), so a negative constant must be
+/// built as Neg(positive) or the emitted text would not re-parse to a
+/// structurally identical tree.
+Expr genConst(double v) {
+  return v < 0 ? -Expr::constant(-v) : Expr::constant(v);
+}
+
+/// Abstraction-level tag per hierarchy depth (coarse = Subsystem, then the
+/// refinement levels mirror the paper's Device/Geometry ladder).
+std::vector<std::string> levelTags(std::size_t level) {
+  switch (level) {
+    case 0: return {"Subsystem"};
+    case 1: return {"Device"};
+    case 2: return {"Device", "Geometry"};
+    default: return {"L" + std::to_string(level)};
+  }
+}
+
+class Builder {
+ public:
+  Builder(const GenParams& p, std::uint64_t seed) : p_(p), rng_(seed ^ 0x9e3779b97f4a7c15ull), seed_(seed) {}
+
+  GeneratedScenario build();
+
+ private:
+  /// One generated object + its problem: a coarse subsystem or a zoomed
+  /// component.
+  struct Region {
+    std::string object;
+    std::size_t problem = 0;
+    std::vector<std::size_t> props;
+    /// generatedBy problem for constraints of a deferred region.
+    std::optional<std::size_t> genBy;
+    std::size_t level = 0;
+  };
+
+  /// A constraint-expression term with what we know about its monotonicity:
+  /// dirs[i] = (+1 term increases with var, -1 decreases, 0 unknown).
+  struct BuiltExpr {
+    Expr e;
+    std::vector<std::pair<std::size_t, int>> dirs;
+  };
+
+  std::string nextDesigner() {
+    const std::size_t i = ownerCursor_++ % p_.teamSize;
+    return "designer-" + std::to_string(i + 1);
+  }
+
+  std::size_t addFreeProperty(const std::string& object,
+                              const std::string& name, std::size_t level);
+  std::size_t addDerivedProperty(const std::string& object,
+                                 const std::string& name, std::size_t level,
+                                 double value);
+  void decorate(ScenarioSpec::Prop& prop, std::size_t level);
+
+  std::vector<std::size_t> sample(const std::vector<std::size_t>& pool,
+                                  std::size_t k);
+  std::size_t degreeCount();
+  double slackFor(double value);
+
+  Expr unaryTerm(std::size_t var, int& dir);
+  BuiltExpr makeExpr(const std::vector<std::size_t>& vars);
+
+  std::size_t addInequality(const std::string& name,
+                            const std::vector<std::size_t>& vars,
+                            std::size_t problem,
+                            std::optional<std::size_t> genBy);
+  std::size_t addModel(Region& region, const std::string& name,
+                       const std::vector<std::size_t>& operands);
+
+  void fillRegion(Region& region, std::size_t nProps, std::size_t nCons,
+                  std::size_t nLinks, const std::vector<std::size_t>& linkPool);
+  void addRequirement(std::size_t k);
+  void addCross(std::size_t k);
+  void addInfeasible(std::size_t k);
+
+  double witnessOf(const Expr& e) const { return evaluateAt(e, witness_); }
+
+  const GenParams& p_;
+  util::Rng rng_;
+  std::uint64_t seed_;
+  ScenarioSpec spec_;
+  std::vector<double> witness_;
+  /// Property ranges entirely above zero are safe under 1/x, sqrt, log.
+  std::vector<bool> positive_;
+  std::vector<std::size_t> propOwner_;  // property index -> problem index
+  std::vector<std::vector<std::size_t>> problemCons_;
+  std::vector<std::size_t> infeasible_;
+  std::vector<std::vector<Region>> levels_;
+  std::size_t ownerCursor_ = 0;
+  std::size_t unitCursor_ = 0;
+};
+
+void Builder::decorate(ScenarioSpec::Prop& prop, std::size_t level) {
+  if (rng_.chance(0.7)) {
+    prop.unit = kUnits[unitCursor_++ % (sizeof(kUnits) / sizeof(kUnits[0]))];
+  }
+  prop.levels = levelTags(level);
+}
+
+std::size_t Builder::addFreeProperty(const std::string& object,
+                                     const std::string& name,
+                                     std::size_t level) {
+  const double w = rng_.uniform(0.5, 20.0);
+  Domain initial;
+  if (rng_.chance(p_.discreteFraction)) {
+    const double lo = w * rng_.uniform(0.15, 0.7);
+    const double hi = w * rng_.uniform(1.4, 6.0);
+    std::vector<double> values{w};
+    const std::size_t extra = 2 + rng_.index(5);
+    for (std::size_t i = 0; i < extra; ++i) {
+      values.push_back(rng_.uniform(lo, hi));
+    }
+    initial = Domain::discrete(std::move(values));
+  } else {
+    initial = Domain::continuous(w * rng_.uniform(0.15, 0.7),
+                                 w * rng_.uniform(1.4, 6.0));
+  }
+  const std::size_t idx = spec_.addProperty(name, object, initial);
+  decorate(spec_.properties[idx], level);
+  if (rng_.chance(0.2)) {
+    spec_.properties[idx].preference = rng_.chance(0.5) ? -1 : 1;
+  }
+  witness_.push_back(w);
+  positive_.push_back(initial.hull().lo() > 0.0);
+  propOwner_.push_back(0);  // rebound by the caller
+  return idx;
+}
+
+std::size_t Builder::addDerivedProperty(const std::string& object,
+                                        const std::string& name,
+                                        std::size_t level, double value) {
+  const double width = std::max(std::fabs(value), 1.0);
+  const double lo = value - width * rng_.uniform(0.5, 2.0);
+  const double hi = value + width * rng_.uniform(0.5, 2.0);
+  const std::size_t idx =
+      spec_.addProperty(name, object, Domain::continuous(lo, hi));
+  decorate(spec_.properties[idx], level);
+  witness_.push_back(value);
+  positive_.push_back(lo > 0.0);
+  propOwner_.push_back(0);
+  return idx;
+}
+
+std::vector<std::size_t> Builder::sample(const std::vector<std::size_t>& pool,
+                                         std::size_t k) {
+  std::vector<std::size_t> out = pool;
+  rng_.shuffle(out);
+  out.resize(std::min(k, out.size()));
+  return out;
+}
+
+std::size_t Builder::degreeCount() {
+  const auto span = static_cast<std::size_t>(
+      std::max<long long>(1, std::llround(2.0 * p_.degree - 1.0)));
+  return 1 + rng_.index(span);
+}
+
+double Builder::slackFor(double value) {
+  const double scale = std::max(1.0, std::fabs(value));
+  return (0.02 + 0.98 * (1.0 - p_.tightness) * rng_.uniform(0.25, 1.0)) *
+         scale;
+}
+
+/// One term over `var`: c * g(var) with the coefficient normalised so the
+/// term's witness value lands in a friendly magnitude band regardless of
+/// how deep a derived-property chain the operand sits on.
+Expr Builder::unaryTerm(std::size_t var, int& dir) {
+  const Expr x = spec_.pvar(var);
+  const double w = witness_[var];
+  const double m = rng_.uniform(0.5, 20.0);
+  const double sign = rng_.chance(0.3) ? -1.0 : 1.0;
+  const bool positive = positive_[var];
+
+  enum class Kind { Linear, Sqrt, Sqr, Pow3, Inv, Abs, Exp, Log };
+  Kind kind = Kind::Linear;
+  if (rng_.chance(p_.nonlinearFraction)) {
+    if (positive) {
+      // sqrt/1/x/log need a strictly positive operand range.
+      const Kind pool[] = {Kind::Sqrt, Kind::Sqr,  Kind::Pow3, Kind::Inv,
+                           Kind::Abs,  Kind::Sqrt, Kind::Exp,  Kind::Log};
+      const std::size_t n = p_.useLibmOps ? 8 : 6;
+      kind = pool[rng_.index(n)];
+    } else {
+      kind = rng_.chance(0.5) ? Kind::Sqr : Kind::Abs;
+    }
+  }
+
+  auto coeff = [&](double unary) {
+    return genConst(sign * m / std::max(std::fabs(unary), 1e-3));
+  };
+  switch (kind) {
+    case Kind::Linear:
+      dir = sign > 0 ? 1 : -1;
+      return coeff(w) * x;
+    case Kind::Sqrt:
+      dir = sign > 0 ? 1 : -1;
+      return coeff(std::sqrt(w)) * expr::sqrt(x);
+    case Kind::Sqr:
+      // Monotone increasing only over a positive range.
+      dir = positive ? (sign > 0 ? 1 : -1) : 0;
+      return coeff(w * w) * expr::sqr(x);
+    case Kind::Pow3:
+      dir = positive ? (sign > 0 ? 1 : -1) : 0;
+      return coeff(w * w * w) * expr::pow(x, 3);
+    case Kind::Inv:
+      dir = sign > 0 ? -1 : 1;
+      return genConst(sign * m * w) / x;
+    case Kind::Abs: {
+      const auto hull = spec_.properties[var].initial.hull();
+      const double pivot = rng_.uniform(hull.lo(), hull.hi());
+      dir = 0;
+      return coeff(std::fabs(w - pivot)) * expr::abs(x - genConst(pivot));
+    }
+    case Kind::Exp: {
+      const double scale =
+          std::max(1.0, spec_.properties[var].initial.hull().hi());
+      dir = sign > 0 ? 1 : -1;
+      return coeff(std::exp(w / scale)) * expr::exp(x / scale);
+    }
+    case Kind::Log:
+      dir = sign > 0 ? 1 : -1;
+      return coeff(std::log(std::max(w, 1e-3))) * expr::log(x);
+  }
+  dir = 0;
+  return x;
+}
+
+Builder::BuiltExpr Builder::makeExpr(const std::vector<std::size_t>& vars) {
+  BuiltExpr out;
+  std::size_t i = 0;
+  while (i < vars.size()) {
+    Expr term;
+    if (i + 1 < vars.size() && rng_.chance(p_.nonlinearFraction * 0.25)) {
+      // Binary min/max coupling two operands; monotonicity left undeclared.
+      const Expr a = spec_.pvar(vars[i]);
+      const Expr b = spec_.pvar(vars[i + 1]);
+      const Expr mm = rng_.chance(0.5) ? expr::min(a, b) : expr::max(a, b);
+      const double m = rng_.uniform(0.5, 20.0);
+      const double sign = rng_.chance(0.3) ? -1.0 : 1.0;
+      term = genConst(sign * m / std::max(std::fabs(witnessOf(mm)), 1e-3)) * mm;
+      out.dirs.push_back({vars[i], 0});
+      out.dirs.push_back({vars[i + 1], 0});
+      i += 2;
+    } else {
+      int dir = 0;
+      term = unaryTerm(vars[i], dir);
+      out.dirs.push_back({vars[i], dir});
+      i += 1;
+    }
+    out.e = out.e.valid() ? out.e + term : term;
+  }
+  if (!out.e.valid() || rng_.chance(0.25)) {
+    const Expr offset = genConst(rng_.uniform(-5.0, 5.0));
+    out.e = out.e.valid() ? out.e + offset : offset;
+  }
+  return out;
+}
+
+std::size_t Builder::addInequality(const std::string& name,
+                                   const std::vector<std::size_t>& vars,
+                                   std::size_t problem,
+                                   std::optional<std::size_t> genBy) {
+  BuiltExpr b = makeExpr(vars);
+  const double v = witnessOf(b.e);
+  const Relation rel = rng_.chance(0.5) ? Relation::Le : Relation::Ge;
+  const double slack = slackFor(v);
+  const double bound = rel == Relation::Le ? v + slack : v - slack;
+
+  ScenarioSpec::Cons cons;
+  cons.name = name;
+  cons.lhs = b.e;
+  cons.rel = rel;
+  cons.rhs = genConst(bound);
+  for (const auto& [var, dir] : b.dirs) {
+    if (dir == 0 || !rng_.chance(p_.monotoneDeclFraction)) continue;
+    // `monotone increasing in X` = increasing X helps satisfy: for f <= C
+    // that is dir < 0 (the term shrinks f), for f >= C it is dir > 0.
+    const bool helpsUp = rel == Relation::Le ? dir < 0 : dir > 0;
+    cons.monotone.push_back({var, helpsUp});
+  }
+  cons.generatedBy = genBy;
+  const std::size_t idx = spec_.addConstraint(std::move(cons));
+  problemCons_[problem].push_back(idx);
+  return idx;
+}
+
+std::size_t Builder::addModel(Region& region, const std::string& name,
+                              const std::vector<std::size_t>& operands) {
+  BuiltExpr b = makeExpr(operands);
+  const double v = witnessOf(b.e);
+  const std::size_t derived = addDerivedProperty(
+      region.object, name, region.level, v);
+  propOwner_[derived] = region.problem;
+  region.props.push_back(derived);
+
+  ScenarioSpec::Cons cons;
+  cons.name = name + ".def";
+  cons.lhs = spec_.pvar(derived);
+  cons.rel = Relation::Eq;
+  cons.rhs = b.e;
+  cons.generatedBy = region.genBy;
+  const std::size_t idx = spec_.addConstraint(std::move(cons));
+  problemCons_[region.problem].push_back(idx);
+  return idx;
+}
+
+/// Populates one region: `nLinks` linking models whose operands come from
+/// `linkPool` (the parent's properties), then free properties, then internal
+/// models and inequalities over the region's own pool.
+void Builder::fillRegion(Region& region, std::size_t nProps, std::size_t nCons,
+                         std::size_t nLinks,
+                         const std::vector<std::size_t>& linkPool) {
+  nLinks = std::min(nLinks, nProps > 1 ? nProps - 1 : 0);
+  std::size_t nEq = static_cast<std::size_t>(
+      std::llround(p_.eqFraction * static_cast<double>(nCons)));
+  nEq = std::min({nEq, nCons, nProps - nLinks - 1});
+  const std::size_t nFree = nProps - nLinks - nEq;
+
+  for (std::size_t j = 0; j < nFree; ++j) {
+    const std::size_t prop = addFreeProperty(
+        region.object, region.object + ".p" + std::to_string(j + 1),
+        region.level);
+    propOwner_[prop] = region.problem;
+    region.props.push_back(prop);
+  }
+  for (std::size_t j = 0; j < nLinks; ++j) {
+    // Boundary condition of the zoom: a fresh component property defined
+    // from the parent's coarse properties (plus, sometimes, a sibling).
+    std::vector<std::size_t> operands =
+        sample(linkPool, 1 + rng_.index(2));
+    if (!region.props.empty() && rng_.chance(0.5)) {
+      operands.push_back(region.props[rng_.index(region.props.size())]);
+    }
+    addModel(region, region.object + ".l" + std::to_string(j + 1), operands);
+  }
+  for (std::size_t j = 0; j < nCons; ++j) {
+    if (j < nEq) {
+      const std::vector<std::size_t> operands =
+          sample(region.props, std::max<std::size_t>(1, degreeCount()));
+      addModel(region, region.object + ".m" + std::to_string(j + 1),
+               operands);
+    } else {
+      const std::vector<std::size_t> vars =
+          sample(region.props, std::max<std::size_t>(1, degreeCount()));
+      addInequality(region.object + ".c" + std::to_string(j + 1), vars,
+                    region.problem, region.genBy);
+    }
+  }
+}
+
+void Builder::addRequirement(std::size_t k) {
+  // Spec constraint f(subsystem props) rel Req-k, requirement bound derived
+  // from the witness so the required value is feasible by construction.
+  const auto& coarse = levels_[0];
+  std::vector<std::size_t> pool = coarse[rng_.index(coarse.size())].props;
+  if (coarse.size() > 1 && rng_.chance(0.5)) {
+    const auto& other = coarse[rng_.index(coarse.size())].props;
+    pool.insert(pool.end(), other.begin(), other.end());
+    std::sort(pool.begin(), pool.end());
+    pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  }
+  const std::vector<std::size_t> vars =
+      sample(pool, 1 + rng_.index(3));
+  BuiltExpr b = makeExpr(vars);
+  const double v = witnessOf(b.e);
+  const Relation rel = rng_.chance(0.5) ? Relation::Le : Relation::Ge;
+  const double slack = slackFor(v);
+  const double required = rel == Relation::Le ? v + slack : v - slack;
+
+  const std::size_t req = addDerivedProperty(
+      "system", "Req-" + std::to_string(k + 1), 0, required);
+  spec_.properties[req].levels = {"System"};
+  spec_.problems[0].outputs.push_back(req);
+
+  ScenarioSpec::Cons cons;
+  cons.name = "spec." + std::to_string(k + 1);
+  cons.lhs = b.e;
+  cons.rel = rel;
+  cons.rhs = spec_.pvar(req);
+  for (const auto& [var, dir] : b.dirs) {
+    if (dir == 0 || !rng_.chance(p_.monotoneDeclFraction)) continue;
+    cons.monotone.push_back({var, rel == Relation::Le ? dir < 0 : dir > 0});
+  }
+  const std::size_t idx = spec_.addConstraint(std::move(cons));
+  problemCons_[0].push_back(idx);
+  spec_.require(req, required);
+}
+
+void Builder::addCross(std::size_t k) {
+  // Inter-designer coupling: one property from each of >= 2 subsystems.
+  const auto& coarse = levels_[0];
+  std::vector<std::size_t> ssIdx(coarse.size());
+  for (std::size_t i = 0; i < ssIdx.size(); ++i) ssIdx[i] = i;
+  rng_.shuffle(ssIdx);
+  const std::size_t span =
+      std::min<std::size_t>(2 + rng_.index(3), ssIdx.size());
+  std::vector<std::size_t> vars;
+  for (std::size_t i = 0; i < span; ++i) {
+    const auto& props = coarse[ssIdx[i]].props;
+    vars.push_back(props[rng_.index(props.size())]);
+  }
+  addInequality("cross." + std::to_string(k + 1), vars, 0, std::nullopt);
+}
+
+void Builder::addInfeasible(std::size_t k) {
+  // A property forced beyond its entire initial range: provably infeasible,
+  // detected by hull propagation alone.  Negative-path ground truth.
+  const std::size_t prop = rng_.index(spec_.properties.size());
+  const double hi = spec_.properties[prop].initial.hull().hi();
+  const double bound = hi + std::max(1.0, std::fabs(hi) * 0.5);
+
+  ScenarioSpec::Cons cons;
+  cons.name = "infeasible." + std::to_string(k + 1);
+  cons.lhs = spec_.pvar(prop);
+  cons.rel = Relation::Ge;
+  cons.rhs = genConst(bound);
+  const std::size_t idx = spec_.addConstraint(std::move(cons));
+  problemCons_[propOwner_[prop]].push_back(idx);
+  infeasible_.push_back(idx);
+}
+
+GeneratedScenario Builder::build() {
+  spec_.name = p_.name + "-s" + std::to_string(seed_);
+  spec_.addObject("system");
+
+  // Problem 0 is the top-level problem; outputs/constraints fill in as
+  // requirements and cross constraints are generated.
+  spec_.addProblem({"System", "system", "team-leader", {}, {}, {},
+                    std::nullopt, {}, true});
+  problemCons_.emplace_back();
+
+  // -- coarse subsystem level -------------------------------------------------
+  levels_.emplace_back();
+  for (std::size_t i = 0; i < p_.subsystems; ++i) {
+    Region region;
+    region.object = "ss" + std::to_string(i + 1);
+    region.level = 0;
+    spec_.addObject(region.object, "system");
+    region.problem = spec_.addProblem({"Design-" + region.object,
+                                       region.object, nextDesigner(), {}, {},
+                                       {}, 0, {}, true});
+    problemCons_.emplace_back();
+    fillRegion(region, p_.propertiesPerSubsystem, p_.constraintsPerSubsystem,
+               0, {});
+    levels_[0].push_back(std::move(region));
+  }
+
+  // -- requirements + coupling ------------------------------------------------
+  for (std::size_t k = 0; k < p_.requirements; ++k) addRequirement(k);
+  for (std::size_t k = 0; k < p_.crossConstraints; ++k) addCross(k);
+
+  // -- zoom refinement --------------------------------------------------------
+  for (std::size_t levelIdx = 0; levelIdx < p_.zoom.size(); ++levelIdx) {
+    const ZoomSpec& z = p_.zoom[levelIdx];
+    const std::vector<Region>& parents = levels_.back();
+    const std::size_t refine = std::min(z.refine, parents.size());
+    std::vector<Region> children;
+    for (std::size_t pi = 0; pi < refine; ++pi) {
+      const Region parent = parents[pi];  // copy: levels_ grows below
+      for (std::size_t c = 0; c < z.components; ++c) {
+        Region region;
+        region.object = parent.object + ".c" + std::to_string(c + 1);
+        region.level = levelIdx + 1;
+        spec_.addObject(region.object, parent.object);
+        region.problem = spec_.addProblem(
+            {"Design-" + region.object, region.object, nextDesigner(), {}, {},
+             {}, parent.problem, {}, !z.deferred});
+        problemCons_.emplace_back();
+        if (z.deferred) region.genBy = region.problem;
+        fillRegion(region,
+                   std::max<std::size_t>(z.propertiesPerComponent, 2),
+                   z.constraintsPerComponent, z.links, parent.props);
+        children.push_back(std::move(region));
+      }
+    }
+    levels_.push_back(std::move(children));
+  }
+
+  // -- planted negatives ------------------------------------------------------
+  for (std::size_t k = 0; k < p_.infeasibleConstraints; ++k) addInfeasible(k);
+
+  // -- finalize problems ------------------------------------------------------
+  for (std::size_t pi = 0; pi < spec_.problems.size(); ++pi) {
+    spec_.problems[pi].constraints = problemCons_[pi];
+  }
+  for (const auto& level : levels_) {
+    for (const Region& region : level) {
+      spec_.problems[region.problem].outputs = region.props;
+    }
+  }
+  // Inputs: properties a problem's constraints reference but does not own.
+  for (std::size_t pi = 1; pi < spec_.problems.size(); ++pi) {
+    auto& prob = spec_.problems[pi];
+    std::vector<std::size_t> inputs;
+    for (const std::size_t ci : prob.constraints) {
+      const auto& c = spec_.constraints[ci];
+      for (const expr::VarId v : expr::variablesOf(c.lhs - c.rhs)) {
+        const std::size_t prop = v;
+        if (std::find(prob.outputs.begin(), prob.outputs.end(), prop) !=
+            prob.outputs.end()) {
+          continue;
+        }
+        if (std::find(inputs.begin(), inputs.end(), prop) == inputs.end()) {
+          inputs.push_back(prop);
+        }
+      }
+    }
+    std::sort(inputs.begin(), inputs.end());
+    prob.inputs = std::move(inputs);
+  }
+
+  const std::vector<std::string> errors = spec_.validate();
+  if (!errors.empty()) {
+    throw Error("generator produced an invalid scenario (bug): " + errors[0]);
+  }
+
+  GeneratedScenario out;
+  out.spec = std::move(spec_);
+  out.witness = std::move(witness_);
+  out.infeasible = std::move(infeasible_);
+  return out;
+}
+
+}  // namespace
+
+double evaluateAt(const expr::Expr& e, const std::vector<double>& point) {
+  const expr::Node& n = e.node();
+  auto child = [&](std::size_t i) { return evaluateAt(n.children[i], point); };
+  switch (n.kind) {
+    case expr::OpKind::Const: return n.value;
+    case expr::OpKind::Var: return point.at(n.var);
+    case expr::OpKind::Add: return child(0) + child(1);
+    case expr::OpKind::Sub: return child(0) - child(1);
+    case expr::OpKind::Mul: return child(0) * child(1);
+    case expr::OpKind::Div: return child(0) / child(1);
+    case expr::OpKind::Neg: return -child(0);
+    case expr::OpKind::Sqrt: return std::sqrt(child(0));
+    case expr::OpKind::Sqr: {
+      const double v = child(0);
+      return v * v;
+    }
+    case expr::OpKind::Pow: {
+      const double base = child(0);
+      const int exponent = n.exponent;
+      double out = 1.0;
+      for (int i = 0; i < std::abs(exponent); ++i) out *= base;
+      return exponent < 0 ? 1.0 / out : out;
+    }
+    case expr::OpKind::Exp: return std::exp(child(0));
+    case expr::OpKind::Log: return std::log(child(0));
+    case expr::OpKind::Abs: return std::fabs(child(0));
+    case expr::OpKind::Min: return std::fmin(child(0), child(1));
+    case expr::OpKind::Max: return std::fmax(child(0), child(1));
+  }
+  throw InvalidArgumentError("evaluateAt: unknown operator");
+}
+
+bool witnessSatisfies(const dpm::ScenarioSpec& spec, std::size_t c,
+                      const std::vector<double>& witness, double tol) {
+  const auto& cons = spec.constraints.at(c);
+  const double lhs = evaluateAt(cons.lhs, witness);
+  const double rhs = evaluateAt(cons.rhs, witness);
+  const double eps = tol * (1.0 + std::fabs(rhs));
+  switch (cons.rel) {
+    case constraint::Relation::Le: return lhs <= rhs + eps;
+    case constraint::Relation::Ge: return lhs >= rhs - eps;
+    case constraint::Relation::Eq: return std::fabs(lhs - rhs) <= eps;
+  }
+  return false;
+}
+
+GeneratedScenario generate(const GenParams& params, std::uint64_t seed) {
+  return Builder(params, seed).build();
+}
+
+GeneratedScenario generate(const GenParams& params) {
+  return generate(params, params.seed);
+}
+
+}  // namespace adpm::gen

@@ -1,0 +1,70 @@
+// Procedural scenario synthesis: seeded, deterministic generation of valid
+// ScenarioSpecs with a planted feasibility witness.
+//
+// The paper evaluates ADPM on two hand-built MEMS cases; growing the
+// workload zoo beyond hand-written DDDL needs scenarios that are (a) valid
+// by construction, (b) reproducible bit-for-bit from a seed, and (c) of
+// *known* satisfiability, so λ=T vs λ=F experiments have ground truth.  The
+// generator guarantees all three:
+//
+//  * Witness planting.  Every property is created together with a witness
+//    value; its initial range is widened around the witness.  Equality
+//    ("model") constraints only ever *define* a fresh derived property whose
+//    witness is the defining expression evaluated at the witness point, and
+//    inequality bounds are derived from the witness evaluation plus a
+//    tightness-controlled slack.  The witness point therefore satisfies
+//    every constraint — the scenario is feasibility-certified by
+//    construction (unless `infeasibleConstraints` plants negatives).
+//
+//  * Hierarchy ("zoom").  In the spirit of genetIC's multi-level
+//    initial-conditions grids, a coarse subsystem-level network is generated
+//    first and selected subsystems are then refined into dense component
+//    subnetworks; linking constraints couple each component back to its
+//    parent's properties, and refined problems enter the process through
+//    decomposition operations with DPM-generated constraints (paper §2.2).
+//
+//  * Determinism.  All randomness flows through util::Rng (xoshiro256**)
+//    and double arithmetic sticks to IEEE-exact operations (+,-,*,/,sqrt)
+//    unless `useLibmOps` opts into exp/log, so the emitted DDDL is
+//    byte-identical across platforms for a fixed (params, seed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dpm/scenario.hpp"
+#include "gen/params.hpp"
+
+namespace adpm::gen {
+
+struct GeneratedScenario {
+  dpm::ScenarioSpec spec;
+  /// Planted witness value per property (indexed like spec.properties).
+  /// Satisfies every constraint except the planted infeasible ones; frozen
+  /// requirement properties have witness == required value.
+  std::vector<double> witness;
+  /// Spec indices of the constraints planted infeasible (empty when the
+  /// scenario is feasibility-certified).
+  std::vector<std::size_t> infeasible;
+};
+
+/// Generates a scenario from `params` with the given seed.  The result
+/// passes ScenarioSpec::validate() and round-trips through dddl::write /
+/// dddl::parse.  Throws InvalidArgumentError for unsatisfiable parameter
+/// combinations.
+GeneratedScenario generate(const GenParams& params, std::uint64_t seed);
+
+/// Same, using params.seed.
+GeneratedScenario generate(const GenParams& params);
+
+/// Evaluates an expression at a point (indexed by VarId).  Plain double
+/// arithmetic; the generator uses it to compute witness values and derived
+/// bounds, and tests use it to check planted witnesses against constraints.
+double evaluateAt(const expr::Expr& e, const std::vector<double>& point);
+
+/// True when the witness point satisfies constraint `c` of `spec` within
+/// `tol` (relative).  Equality holds when |lhs-rhs| <= tol*(1+|rhs|).
+bool witnessSatisfies(const dpm::ScenarioSpec& spec, std::size_t c,
+                      const std::vector<double>& witness, double tol = 1e-9);
+
+}  // namespace adpm::gen

@@ -1,0 +1,190 @@
+#include "gen/params.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace adpm::gen {
+
+namespace {
+
+using util::json::Value;
+
+std::size_t asCount(const Value& v, const char* key) {
+  const double n = v.asNumber();
+  if (!(n >= 0) || n != std::floor(n) || n > 1e9) {
+    throw InvalidArgumentError(std::string("paramfile: '") + key +
+                               "' must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+double asFraction(const Value& v, const char* key) {
+  const double f = v.asNumber();
+  if (!(f >= 0.0 && f <= 1.0)) {
+    throw InvalidArgumentError(std::string("paramfile: '") + key +
+                               "' must be in [0, 1]");
+  }
+  return f;
+}
+
+ZoomSpec parseZoom(const Value& v) {
+  ZoomSpec z;
+  for (const auto& [key, field] : v.asObject()) {
+    if (key == "refine") {
+      z.refine = asCount(field, "zoom.refine");
+    } else if (key == "components") {
+      z.components = asCount(field, "zoom.components");
+    } else if (key == "propertiesPerComponent") {
+      z.propertiesPerComponent = asCount(field, "zoom.propertiesPerComponent");
+    } else if (key == "constraintsPerComponent") {
+      z.constraintsPerComponent =
+          asCount(field, "zoom.constraintsPerComponent");
+    } else if (key == "links") {
+      z.links = asCount(field, "zoom.links");
+    } else if (key == "deferred") {
+      z.deferred = field.asBool();
+    } else {
+      throw InvalidArgumentError("paramfile: unknown zoom key '" + key + "'");
+    }
+  }
+  return z;
+}
+
+}  // namespace
+
+bool operator==(const ZoomSpec& a, const ZoomSpec& b) {
+  return a.refine == b.refine && a.components == b.components &&
+         a.propertiesPerComponent == b.propertiesPerComponent &&
+         a.constraintsPerComponent == b.constraintsPerComponent &&
+         a.links == b.links && a.deferred == b.deferred;
+}
+
+bool operator==(const GenParams& a, const GenParams& b) {
+  return a.name == b.name && a.seed == b.seed &&
+         a.subsystems == b.subsystems &&
+         a.propertiesPerSubsystem == b.propertiesPerSubsystem &&
+         a.constraintsPerSubsystem == b.constraintsPerSubsystem &&
+         a.crossConstraints == b.crossConstraints &&
+         a.requirements == b.requirements && a.degree == b.degree &&
+         a.nonlinearFraction == b.nonlinearFraction &&
+         a.eqFraction == b.eqFraction &&
+         a.discreteFraction == b.discreteFraction &&
+         a.monotoneDeclFraction == b.monotoneDeclFraction &&
+         a.tightness == b.tightness && a.useLibmOps == b.useLibmOps &&
+         a.teamSize == b.teamSize && a.zoom == b.zoom &&
+         a.infeasibleConstraints == b.infeasibleConstraints;
+}
+
+GenParams parseParams(const std::string& text) {
+  const Value root = util::json::parse(text);
+  GenParams p;
+  for (const auto& [key, field] : root.asObject()) {
+    if (key == "name") {
+      p.name = field.asString();
+      if (p.name.empty()) {
+        throw InvalidArgumentError("paramfile: 'name' must not be empty");
+      }
+    } else if (key == "seed") {
+      p.seed = static_cast<std::uint64_t>(asCount(field, "seed"));
+    } else if (key == "subsystems") {
+      p.subsystems = asCount(field, "subsystems");
+    } else if (key == "propertiesPerSubsystem") {
+      p.propertiesPerSubsystem = asCount(field, "propertiesPerSubsystem");
+    } else if (key == "constraintsPerSubsystem") {
+      p.constraintsPerSubsystem = asCount(field, "constraintsPerSubsystem");
+    } else if (key == "crossConstraints") {
+      p.crossConstraints = asCount(field, "crossConstraints");
+    } else if (key == "requirements") {
+      p.requirements = asCount(field, "requirements");
+    } else if (key == "degree") {
+      p.degree = field.asNumber();
+      if (!(p.degree >= 1.0 && p.degree <= 8.0)) {
+        throw InvalidArgumentError("paramfile: 'degree' must be in [1, 8]");
+      }
+    } else if (key == "nonlinearFraction") {
+      p.nonlinearFraction = asFraction(field, "nonlinearFraction");
+    } else if (key == "eqFraction") {
+      p.eqFraction = asFraction(field, "eqFraction");
+    } else if (key == "discreteFraction") {
+      p.discreteFraction = asFraction(field, "discreteFraction");
+    } else if (key == "monotoneDeclFraction") {
+      p.monotoneDeclFraction = asFraction(field, "monotoneDeclFraction");
+    } else if (key == "tightness") {
+      p.tightness = asFraction(field, "tightness");
+    } else if (key == "useLibmOps") {
+      p.useLibmOps = field.asBool();
+    } else if (key == "teamSize") {
+      p.teamSize = asCount(field, "teamSize");
+      if (p.teamSize == 0) {
+        throw InvalidArgumentError("paramfile: 'teamSize' must be >= 1");
+      }
+    } else if (key == "zoom") {
+      for (const Value& z : field.asArray()) p.zoom.push_back(parseZoom(z));
+    } else if (key == "infeasibleConstraints") {
+      p.infeasibleConstraints = asCount(field, "infeasibleConstraints");
+    } else {
+      throw InvalidArgumentError("paramfile: unknown key '" + key + "'");
+    }
+  }
+  if (p.subsystems == 0) {
+    throw InvalidArgumentError("paramfile: 'subsystems' must be >= 1");
+  }
+  if (p.propertiesPerSubsystem < 2) {
+    throw InvalidArgumentError(
+        "paramfile: 'propertiesPerSubsystem' must be >= 2");
+  }
+  return p;
+}
+
+GenParams loadParams(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw InvalidArgumentError("cannot open paramfile '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return parseParams(text.str());
+  } catch (const Error& e) {
+    throw InvalidArgumentError(path + ": " + e.what());
+  }
+}
+
+std::string serializeParams(const GenParams& p) {
+  Value root{util::json::Object{}};
+  root.set("name", p.name);
+  root.set("seed", static_cast<std::size_t>(p.seed));
+  root.set("subsystems", p.subsystems);
+  root.set("propertiesPerSubsystem", p.propertiesPerSubsystem);
+  root.set("constraintsPerSubsystem", p.constraintsPerSubsystem);
+  root.set("crossConstraints", p.crossConstraints);
+  root.set("requirements", p.requirements);
+  root.set("degree", p.degree);
+  root.set("nonlinearFraction", p.nonlinearFraction);
+  root.set("eqFraction", p.eqFraction);
+  root.set("discreteFraction", p.discreteFraction);
+  root.set("monotoneDeclFraction", p.monotoneDeclFraction);
+  root.set("tightness", p.tightness);
+  root.set("useLibmOps", p.useLibmOps);
+  root.set("teamSize", p.teamSize);
+  util::json::Array zoom;
+  for (const ZoomSpec& z : p.zoom) {
+    Value level{util::json::Object{}};
+    level.set("refine", z.refine);
+    level.set("components", z.components);
+    level.set("propertiesPerComponent", z.propertiesPerComponent);
+    level.set("constraintsPerComponent", z.constraintsPerComponent);
+    level.set("links", z.links);
+    level.set("deferred", z.deferred);
+    zoom.push_back(std::move(level));
+  }
+  root.set("zoom", std::move(zoom));
+  root.set("infeasibleConstraints", p.infeasibleConstraints);
+  return util::json::serialize(root);
+}
+
+}  // namespace adpm::gen

@@ -1,0 +1,116 @@
+// Generator parameters: the paramfile that drives procedural scenario
+// synthesis (src/gen/generator.hpp).
+//
+// A paramfile is a single JSON object; every field has a default, so `{}`
+// is a valid (tiny) scenario.  The knobs mirror the quantities the paper
+// reports for its hand-built cases — property/constraint counts,
+// connectivity degree, nonlinearity mix, discrete-value fraction, team size
+// and ownership partition, requirement tightness — plus a hierarchical
+// "zoom" list in the spirit of genetIC's multi-level initial-conditions
+// grids: a coarse subsystem-level network with selected subsystems refined
+// into dense component subnetworks released by decomposition operations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adpm::gen {
+
+/// One zoom (refinement) level.  Level k refines the first `refine`
+/// subsystems of level k-1 (level 0 = the coarse subsystems): each refined
+/// parent gains `components` child objects, each carrying its own property
+/// set, internal constraints, and `links` constraints coupling the child
+/// back to its parent's properties.
+struct ZoomSpec {
+  /// How many parents of the previous level to refine (clamped to what
+  /// exists).
+  std::size_t refine = 1;
+  /// Child objects added under each refined parent.
+  std::size_t components = 2;
+  /// Properties per component (free + derived; at least 2).
+  std::size_t propertiesPerComponent = 4;
+  /// Internal constraints per component.
+  std::size_t constraintsPerComponent = 3;
+  /// Linking constraints per component: each defines a fresh component
+  /// property from the parent's properties (the zoom boundary condition).
+  std::size_t links = 1;
+  /// When true (the default) component problems start Unassigned and their
+  /// internal + linking constraints are *generated* by the DPM when the
+  /// parent's owner executes a decomposition operation (paper §2.2);
+  /// when false everything is active from the initial state.
+  bool deferred = true;
+};
+
+struct GenParams {
+  /// Scenario name; the seed is appended ("zoo-toy-s7") so fleets over a
+  /// seed grid get distinct names.
+  std::string name = "generated";
+  /// Default seed; CLIs may override per invocation.
+  std::uint64_t seed = 1;
+
+  // -- coarse level -----------------------------------------------------------
+  std::size_t subsystems = 2;
+  std::size_t propertiesPerSubsystem = 4;
+  std::size_t constraintsPerSubsystem = 3;
+  /// Cross-subsystem coupling constraints (inter-designer coupling; they
+  /// live on the top-level problem and span >= 2 subsystems).
+  std::size_t crossConstraints = 2;
+  /// Top-level requirements: frozen properties bound at initialisation,
+  /// each the right-hand side of one spec constraint.
+  std::size_t requirements = 2;
+
+  // -- shape ------------------------------------------------------------------
+  /// Mean number of distinct variables in an inequality constraint
+  /// (connectivity degree); actual counts are 1..round(2*degree-1).
+  double degree = 2.0;
+  /// Fraction of constraint *terms* drawn from the nonlinear palette
+  /// (sqrt, sqr, pow, 1/x, abs, min, max) instead of linear c*x.
+  double nonlinearFraction = 0.35;
+  /// Fraction of equality ("model") constraints among per-subsystem
+  /// constraints; each defines a fresh derived property.
+  double eqFraction = 0.4;
+  /// Fraction of properties with a finite discrete value set.
+  double discreteFraction = 0.1;
+  /// Fraction of monotone inequality incidences that get an explicit
+  /// `monotone` declaration (the DDDL guidance hints).
+  double monotoneDeclFraction = 0.5;
+  /// Requirement/spec slack: 0 = loose (wide margins around the planted
+  /// witness), 1 = tight (small margins).  Drives the paper's Fig. 10 axis.
+  double tightness = 0.5;
+  /// Opt-in exp/log terms.  Off by default so generated scenarios are
+  /// bit-identical across libm implementations (sqrt and arithmetic are
+  /// IEEE-exact; exp/log are not).
+  bool useLibmOps = false;
+
+  // -- team -------------------------------------------------------------------
+  /// Designers besides the team leader; subsystem/component problems are
+  /// partitioned round-robin over "designer-1".."designer-N".
+  std::size_t teamSize = 2;
+
+  // -- hierarchy --------------------------------------------------------------
+  std::vector<ZoomSpec> zoom;
+
+  // -- negative-path knob -----------------------------------------------------
+  /// Plant this many provably infeasible constraints (a property forced
+  /// beyond its entire initial range); 0 = feasibility-certified scenario.
+  std::size_t infeasibleConstraints = 0;
+};
+
+/// Parses a paramfile (JSON object text).  Unknown keys are an error, so a
+/// typo'd knob cannot silently fall back to its default.  Throws
+/// adpm::ParseError / adpm::InvalidArgumentError.
+GenParams parseParams(const std::string& text);
+
+/// Reads and parses a paramfile from disk.  Throws
+/// adpm::InvalidArgumentError when the file cannot be read.
+GenParams loadParams(const std::string& path);
+
+/// Canonical JSON rendering of the params (every field, insertion order
+/// fixed); parseParams(serializeParams(p)) == p.
+std::string serializeParams(const GenParams& params);
+
+bool operator==(const GenParams& a, const GenParams& b);
+bool operator==(const ZoomSpec& a, const ZoomSpec& b);
+
+}  // namespace adpm::gen

@@ -1,0 +1,39 @@
+// One scenario registry for every front-end.
+//
+// teamsim_cli, session_service_cli, session_server_cli and dddl_tool each
+// used to carry their own name -> ScenarioSpec table; this registry is the
+// single source, covering both the hand-built paper cases and the generated
+// zoo presets (src/gen/presets.hpp).  Generated entries are produced on
+// demand from their embedded paramfile and are byte-deterministic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dpm/scenario.hpp"
+#include "gen/params.hpp"
+
+namespace adpm::gen {
+
+struct RegistryEntry {
+  std::string name;
+  /// "builtin" (hand-built in src/scenarios) or "generated" (zoo preset).
+  std::string kind;
+  std::string description;
+};
+
+/// All registered scenarios: the five hand-built cases followed by the zoo
+/// presets, in registration order.
+const std::vector<RegistryEntry>& scenarioRegistry();
+
+/// Builds the named scenario (hand-built factory call or preset generation).
+/// Throws InvalidArgumentError for unknown names, listing what exists.
+dpm::ScenarioSpec scenarioByName(const std::string& name);
+
+/// True when `name` is registered.
+bool isRegisteredScenario(const std::string& name);
+
+/// Comma-separated registered names (for usage strings).
+std::string registeredScenarioNames();
+
+}  // namespace adpm::gen

@@ -1,0 +1,134 @@
+#include "gen/stats.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace adpm::gen {
+
+namespace {
+
+void countOps(const expr::Expr& e, ScenarioStats& stats) {
+  if (!e.valid()) return;
+  const expr::Node& n = e.node();
+  stats.opCounts[static_cast<std::size_t>(n.kind)]++;
+  for (const expr::Expr& child : n.children) countOps(child, stats);
+}
+
+bool hasNonlinearOp(const expr::Expr& e) {
+  if (!e.valid()) return false;
+  const expr::Node& n = e.node();
+  switch (n.kind) {
+    case expr::OpKind::Mul: {
+      // Linear scaling (const * x) does not count; x * y does.
+      const bool leftConst = n.children[0].kind() == expr::OpKind::Const;
+      const bool rightConst = n.children[1].kind() == expr::OpKind::Const;
+      if (!leftConst && !rightConst) return true;
+      break;
+    }
+    case expr::OpKind::Div:
+      if (n.children[1].kind() != expr::OpKind::Const) return true;
+      break;
+    case expr::OpKind::Sqrt:
+    case expr::OpKind::Sqr:
+    case expr::OpKind::Pow:
+    case expr::OpKind::Exp:
+    case expr::OpKind::Log:
+    case expr::OpKind::Abs:
+    case expr::OpKind::Min:
+    case expr::OpKind::Max:
+      return true;
+    default:
+      break;
+  }
+  for (const expr::Expr& child : n.children) {
+    if (hasNonlinearOp(child)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ScenarioStats computeStats(const dpm::ScenarioSpec& spec) {
+  ScenarioStats stats;
+  stats.objects = spec.objects.size();
+  stats.properties = spec.properties.size();
+  stats.constraints = spec.constraints.size();
+  stats.problems = spec.problems.size();
+  stats.requirements = spec.requirements.size();
+
+  for (const auto& prop : spec.properties) {
+    if (prop.initial.isDiscrete()) stats.discreteProperties++;
+  }
+  for (const auto& prob : spec.problems) {
+    if (!prob.startReady) stats.deferredProblems++;
+  }
+
+  std::size_t degreeSum = 0;
+  for (const auto& cons : spec.constraints) {
+    switch (cons.rel) {
+      case constraint::Relation::Eq: stats.eqConstraints++; break;
+      case constraint::Relation::Le: stats.leConstraints++; break;
+      case constraint::Relation::Ge: stats.geConstraints++; break;
+    }
+    if (cons.generatedBy) stats.generatedConstraints++;
+    stats.monotoneDecls += cons.monotone.size();
+
+    const expr::Expr diff = cons.lhs - cons.rhs;
+    const std::size_t degree = expr::variablesOf(diff).size();
+    if (stats.degreeHistogram.size() <= degree) {
+      stats.degreeHistogram.resize(degree + 1, 0);
+    }
+    stats.degreeHistogram[degree]++;
+    degreeSum += degree;
+
+    countOps(cons.lhs, stats);
+    countOps(cons.rhs, stats);
+    if (hasNonlinearOp(cons.lhs) || hasNonlinearOp(cons.rhs)) {
+      stats.nonlinearConstraints++;
+    }
+  }
+  stats.meanDegree =
+      spec.constraints.empty()
+          ? 0.0
+          : static_cast<double>(degreeSum) /
+                static_cast<double>(spec.constraints.size());
+  return stats;
+}
+
+std::string formatStats(const ScenarioStats& stats,
+                        const std::string& scenarioName) {
+  std::ostringstream out;
+  out << "scenario:     " << scenarioName << "\n";
+  out << "objects:      " << stats.objects << "\n";
+  out << "properties:   " << stats.properties << " (" << stats.discreteProperties
+      << " discrete)\n";
+  out << "constraints:  " << stats.constraints << " (" << stats.eqConstraints
+      << " eq, " << stats.leConstraints << " le, " << stats.geConstraints
+      << " ge; " << stats.nonlinearConstraints << " nonlinear, "
+      << stats.generatedConstraints << " generated)\n";
+  out << "problems:     " << stats.problems << " (" << stats.deferredProblems
+      << " deferred)\n";
+  out << "requirements: " << stats.requirements << "\n";
+  out << "monotone:     " << stats.monotoneDecls << " declarations\n";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", stats.meanDegree);
+  out << "degree:       mean " << buf << ", histogram";
+  for (std::size_t d = 0; d < stats.degreeHistogram.size(); ++d) {
+    if (stats.degreeHistogram[d] == 0) continue;
+    out << " " << d << ":" << stats.degreeHistogram[d];
+  }
+  out << "\n";
+  out << "op mix:      ";
+  bool any = false;
+  for (std::size_t k = 0; k < stats.opCounts.size(); ++k) {
+    if (stats.opCounts[k] == 0) continue;
+    out << " " << expr::opName(static_cast<expr::OpKind>(k)) << ":"
+        << stats.opCounts[k];
+    any = true;
+  }
+  if (!any) out << " (none)";
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace adpm::gen

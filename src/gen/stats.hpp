@@ -1,0 +1,54 @@
+// Structural scenario statistics: the quantities the generator's paramfile
+// targets (property/constraint counts, connectivity-degree histogram,
+// nonlinearity mix), computed from any ScenarioSpec.
+//
+// Used by `dddl_tool check --stats` and by the generator tests to validate
+// that generated scenarios hit their paramfile targets within tolerance.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "dpm/scenario.hpp"
+#include "expr/expr.hpp"
+
+namespace adpm::gen {
+
+struct ScenarioStats {
+  std::size_t objects = 0;
+  std::size_t properties = 0;
+  std::size_t constraints = 0;
+  std::size_t problems = 0;
+  std::size_t requirements = 0;
+
+  std::size_t eqConstraints = 0;
+  std::size_t leConstraints = 0;
+  std::size_t geConstraints = 0;
+  /// Constraints with generatedBy set (enter via decomposition).
+  std::size_t generatedConstraints = 0;
+  /// Problems with startReady == false (released by decomposition).
+  std::size_t deferredProblems = 0;
+
+  std::size_t discreteProperties = 0;
+  std::size_t monotoneDecls = 0;
+  /// Constraints whose expression uses at least one non-linear operator.
+  std::size_t nonlinearConstraints = 0;
+
+  /// degreeHistogram[d] = number of constraints over exactly d distinct
+  /// properties (index 0 = constant constraints).
+  std::vector<std::size_t> degreeHistogram;
+  double meanDegree = 0.0;
+
+  /// Operator occurrence counts across all constraint expressions, indexed
+  /// by static_cast<std::size_t>(expr::OpKind).
+  std::array<std::size_t, 15> opCounts{};
+};
+
+ScenarioStats computeStats(const dpm::ScenarioSpec& spec);
+
+/// Human-readable rendering (the `dddl_tool check --stats` output).
+std::string formatStats(const ScenarioStats& stats,
+                        const std::string& scenarioName);
+
+}  // namespace adpm::gen

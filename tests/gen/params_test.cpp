@@ -1,0 +1,75 @@
+// Paramfile parsing, validation, and serialize/parse round-trip.
+#include <gtest/gtest.h>
+
+#include "gen/params.hpp"
+#include "util/error.hpp"
+
+namespace adpm::gen {
+namespace {
+
+TEST(GenParams, EmptyObjectYieldsDefaults) {
+  const GenParams p = parseParams("{}");
+  EXPECT_EQ(p, GenParams{});
+  EXPECT_EQ(p.name, "generated");
+  EXPECT_EQ(p.subsystems, 2u);
+  EXPECT_TRUE(p.zoom.empty());
+}
+
+TEST(GenParams, SerializeParseRoundTrip) {
+  GenParams p;
+  p.name = "round";
+  p.seed = 42;
+  p.subsystems = 7;
+  p.propertiesPerSubsystem = 9;
+  p.constraintsPerSubsystem = 11;
+  p.crossConstraints = 4;
+  p.requirements = 3;
+  p.degree = 3.25;
+  p.nonlinearFraction = 0.5;
+  p.eqFraction = 0.25;
+  p.discreteFraction = 0.2;
+  p.monotoneDeclFraction = 0.75;
+  p.tightness = 0.9;
+  p.useLibmOps = true;
+  p.teamSize = 5;
+  p.infeasibleConstraints = 2;
+  ZoomSpec z;
+  z.refine = 3;
+  z.components = 4;
+  z.propertiesPerComponent = 5;
+  z.constraintsPerComponent = 6;
+  z.links = 2;
+  z.deferred = false;
+  p.zoom = {z, ZoomSpec{}};
+
+  const GenParams back = parseParams(serializeParams(p));
+  EXPECT_EQ(back, p);
+  // Serialization is canonical: a second trip yields identical text.
+  EXPECT_EQ(serializeParams(back), serializeParams(p));
+}
+
+TEST(GenParams, UnknownKeyIsAnError) {
+  EXPECT_THROW(parseParams(R"({"subsytems": 3})"), InvalidArgumentError);
+  EXPECT_THROW(parseParams(R"({"zoom": [{"refin": 1}]})"),
+               InvalidArgumentError);
+}
+
+TEST(GenParams, RejectsInvalidValues) {
+  EXPECT_THROW(parseParams(R"({"subsystems": 0})"), InvalidArgumentError);
+  EXPECT_THROW(parseParams(R"({"propertiesPerSubsystem": 1})"),
+               InvalidArgumentError);
+  EXPECT_THROW(parseParams(R"({"teamSize": 0})"), InvalidArgumentError);
+  EXPECT_THROW(parseParams(R"({"degree": 0.5})"), InvalidArgumentError);
+  EXPECT_THROW(parseParams(R"({"degree": 9})"), InvalidArgumentError);
+  EXPECT_THROW(parseParams(R"({"eqFraction": 1.5})"), InvalidArgumentError);
+  EXPECT_THROW(parseParams(R"({"subsystems": 2.5})"), InvalidArgumentError);
+  EXPECT_THROW(parseParams(R"({"name": ""})"), InvalidArgumentError);
+}
+
+TEST(GenParams, LoadRejectsMissingFile) {
+  EXPECT_THROW(loadParams("/nonexistent/paramfile.json"),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace adpm::gen

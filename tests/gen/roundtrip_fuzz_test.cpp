@@ -1,0 +1,135 @@
+// Round-trip fuzz over a paramfile grid: for 64 (shape, seed) pairs the
+// generated scenario must (a) be bit-deterministic — generating twice gives
+// identical DDDL bytes — and (b) survive parse(write(gen)) structurally
+// identical to gen, with write(parse(write(gen))) byte-equal.
+#include <gtest/gtest.h>
+
+#include "dddl/parser.hpp"
+#include "dddl/writer.hpp"
+#include "gen/generator.hpp"
+
+namespace adpm::gen {
+namespace {
+
+std::vector<GenParams> paramGrid() {
+  std::vector<GenParams> grid;
+
+  GenParams flat;  // tiny default-ish
+  flat.name = "fz-flat";
+  grid.push_back(flat);
+
+  GenParams wide;  // more subsystems, high connectivity
+  wide.name = "fz-wide";
+  wide.subsystems = 5;
+  wide.propertiesPerSubsystem = 7;
+  wide.constraintsPerSubsystem = 9;
+  wide.crossConstraints = 5;
+  wide.requirements = 4;
+  wide.degree = 4.0;
+  grid.push_back(wide);
+
+  GenParams nonlinear;  // nonlinearity-heavy
+  nonlinear.name = "fz-nonlinear";
+  nonlinear.nonlinearFraction = 1.0;
+  nonlinear.constraintsPerSubsystem = 6;
+  grid.push_back(nonlinear);
+
+  GenParams discrete;  // discrete-heavy + eq-heavy
+  discrete.name = "fz-discrete";
+  discrete.discreteFraction = 0.8;
+  discrete.eqFraction = 0.6;
+  discrete.propertiesPerSubsystem = 6;
+  discrete.constraintsPerSubsystem = 6;
+  grid.push_back(discrete);
+
+  GenParams zoom;  // one deferred refinement level
+  zoom.name = "fz-zoom";
+  zoom.zoom.push_back(ZoomSpec{});
+  grid.push_back(zoom);
+
+  GenParams deep;  // two levels, second one eager (deferred = false)
+  deep.name = "fz-deep";
+  deep.subsystems = 3;
+  deep.zoom.push_back(ZoomSpec{.refine = 2, .components = 2});
+  deep.zoom.push_back(ZoomSpec{.refine = 3,
+                               .components = 2,
+                               .propertiesPerComponent = 3,
+                               .constraintsPerComponent = 2,
+                               .links = 1,
+                               .deferred = false});
+  grid.push_back(deep);
+
+  GenParams tight;  // tightness extremes + monotone-heavy
+  tight.name = "fz-tight";
+  tight.tightness = 1.0;
+  tight.monotoneDeclFraction = 1.0;
+  grid.push_back(tight);
+
+  GenParams negatives;  // planted infeasibility
+  negatives.name = "fz-negative";
+  negatives.infeasibleConstraints = 3;
+  grid.push_back(negatives);
+
+  return grid;
+}
+
+TEST(RoundTripFuzz, SixtyFourSeedsAcrossTheGrid) {
+  const std::vector<GenParams> grid = paramGrid();
+  ASSERT_EQ(grid.size(), 8u);
+  for (const GenParams& params : grid) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      SCOPED_TRACE(params.name + " seed " + std::to_string(seed));
+
+      const GeneratedScenario g = generate(params, seed);
+      ASSERT_TRUE(g.spec.validate().empty());
+      const std::string text = dddl::write(g.spec);
+
+      // Bit determinism: a second generation gives identical bytes.
+      EXPECT_EQ(dddl::write(generate(params, seed).spec), text);
+
+      // parse(write(gen)) is structurally identical to gen.
+      const dpm::ScenarioSpec re = dddl::parse(text);
+      EXPECT_EQ(dddl::write(re), text);
+      ASSERT_EQ(re.objects.size(), g.spec.objects.size());
+      ASSERT_EQ(re.properties.size(), g.spec.properties.size());
+      ASSERT_EQ(re.constraints.size(), g.spec.constraints.size());
+      ASSERT_EQ(re.problems.size(), g.spec.problems.size());
+      ASSERT_EQ(re.requirements.size(), g.spec.requirements.size());
+      for (std::size_t i = 0; i < re.properties.size(); ++i) {
+        EXPECT_EQ(re.properties[i].name, g.spec.properties[i].name);
+        EXPECT_EQ(re.properties[i].object, g.spec.properties[i].object);
+        EXPECT_EQ(re.properties[i].unit, g.spec.properties[i].unit);
+        EXPECT_EQ(re.properties[i].levels, g.spec.properties[i].levels);
+        EXPECT_EQ(re.properties[i].preference,
+                  g.spec.properties[i].preference);
+        EXPECT_EQ(re.properties[i].initial.isDiscrete(),
+                  g.spec.properties[i].initial.isDiscrete());
+        EXPECT_EQ(re.properties[i].initial.hull().lo(),
+                  g.spec.properties[i].initial.hull().lo());
+        EXPECT_EQ(re.properties[i].initial.hull().hi(),
+                  g.spec.properties[i].initial.hull().hi());
+      }
+      for (std::size_t i = 0; i < re.constraints.size(); ++i) {
+        EXPECT_EQ(re.constraints[i].name, g.spec.constraints[i].name);
+        EXPECT_EQ(re.constraints[i].rel, g.spec.constraints[i].rel);
+        EXPECT_TRUE(re.constraints[i].lhs.sameAs(g.spec.constraints[i].lhs));
+        EXPECT_TRUE(re.constraints[i].rhs.sameAs(g.spec.constraints[i].rhs));
+        EXPECT_EQ(re.constraints[i].monotone, g.spec.constraints[i].monotone);
+        EXPECT_EQ(re.constraints[i].generatedBy,
+                  g.spec.constraints[i].generatedBy);
+      }
+      for (std::size_t i = 0; i < re.problems.size(); ++i) {
+        EXPECT_EQ(re.problems[i].name, g.spec.problems[i].name);
+        EXPECT_EQ(re.problems[i].owner, g.spec.problems[i].owner);
+        EXPECT_EQ(re.problems[i].inputs, g.spec.problems[i].inputs);
+        EXPECT_EQ(re.problems[i].outputs, g.spec.problems[i].outputs);
+        EXPECT_EQ(re.problems[i].constraints, g.spec.problems[i].constraints);
+        EXPECT_EQ(re.problems[i].parent, g.spec.problems[i].parent);
+        EXPECT_EQ(re.problems[i].startReady, g.spec.problems[i].startReady);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adpm::gen

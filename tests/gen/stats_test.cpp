@@ -1,0 +1,70 @@
+// Scenario statistics: computed quantities must match hand-counted values
+// on a small fixed spec, and the text rendering must carry the headline
+// numbers (dddl_tool check --stats builds on this).
+#include <gtest/gtest.h>
+
+#include "gen/stats.hpp"
+
+namespace adpm::gen {
+namespace {
+
+using constraint::Relation;
+using interval::Domain;
+
+dpm::ScenarioSpec tinySpec() {
+  dpm::ScenarioSpec s;
+  s.name = "tiny";
+  s.addObject("sys");
+  const auto x = s.addProperty("x", "sys", Domain::continuous(0, 10));
+  const auto y = s.addProperty("y", "sys", Domain::discrete({1, 2, 3}));
+  const auto z = s.addProperty("z", "sys", Domain::continuous(0, 5));
+  s.addConstraint({"sum", s.pvar(x) + s.pvar(y), Relation::Le,
+                   expr::Expr::constant(8.0),
+                   {{x, false}}});
+  s.addConstraint(
+      {"model", s.pvar(z), Relation::Eq, expr::sqr(s.pvar(x)), {}});
+  s.addConstraint({"floor", s.pvar(y), Relation::Ge,
+                   expr::Expr::constant(1.5), {}});
+  const auto top = s.addProblem(
+      {"Top", "sys", "lead", {}, {x, y, z}, {0, 1, 2}, std::nullopt, {}, true});
+  s.constraints[1].generatedBy = top;
+  return s;
+}
+
+TEST(ScenarioStats, CountsMatchHandCountedSpec) {
+  const ScenarioStats stats = computeStats(tinySpec());
+  EXPECT_EQ(stats.objects, 1u);
+  EXPECT_EQ(stats.properties, 3u);
+  EXPECT_EQ(stats.discreteProperties, 1u);
+  EXPECT_EQ(stats.constraints, 3u);
+  EXPECT_EQ(stats.eqConstraints, 1u);
+  EXPECT_EQ(stats.leConstraints, 1u);
+  EXPECT_EQ(stats.geConstraints, 1u);
+  EXPECT_EQ(stats.generatedConstraints, 1u);
+  EXPECT_EQ(stats.monotoneDecls, 1u);
+  EXPECT_EQ(stats.nonlinearConstraints, 1u);  // only the sqr model
+  EXPECT_EQ(stats.problems, 1u);
+  EXPECT_EQ(stats.deferredProblems, 0u);
+
+  // Degrees: sum has {x,y}=2, model {z,x}=2, floor {y}=1.
+  ASSERT_EQ(stats.degreeHistogram.size(), 3u);
+  EXPECT_EQ(stats.degreeHistogram[1], 1u);
+  EXPECT_EQ(stats.degreeHistogram[2], 2u);
+  EXPECT_NEAR(stats.meanDegree, 5.0 / 3.0, 1e-12);
+
+  // Operator mix counts every node occurrence.
+  EXPECT_EQ(stats.opCounts[static_cast<std::size_t>(expr::OpKind::Sqr)], 1u);
+  EXPECT_EQ(stats.opCounts[static_cast<std::size_t>(expr::OpKind::Add)], 1u);
+}
+
+TEST(ScenarioStats, FormatCarriesHeadlineNumbers) {
+  const std::string text = formatStats(computeStats(tinySpec()), "tiny");
+  EXPECT_NE(text.find("scenario:     tiny"), std::string::npos);
+  EXPECT_NE(text.find("properties:   3 (1 discrete)"), std::string::npos);
+  EXPECT_NE(text.find("1 eq, 1 le, 1 ge"), std::string::npos);
+  EXPECT_NE(text.find("histogram 1:1 2:2"), std::string::npos);
+  EXPECT_NE(text.find("sqr:1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adpm::gen
