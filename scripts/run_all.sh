@@ -17,7 +17,9 @@ ctest --test-dir "$build" 2>&1 | tee "$repo/test_output.txt"
 
 {
   for bench in "$build"/bench/*; do
-    [ -f "$bench" ] && [ -x "$bench" ] || continue
+    # Not `A && B || continue` (SC2015): skip anything that is not an
+    # executable regular file, including the unexpanded glob itself.
+    if [ ! -f "$bench" ] || [ ! -x "$bench" ]; then continue; fi
     echo "==== $(basename "$bench") ===="
     "$bench"
     echo

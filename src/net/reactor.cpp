@@ -35,14 +35,14 @@ std::uint16_t Reactor::listen(const std::string& host, std::uint16_t port) {
   ScopedFd fd = listenTcp(host, port);
   setNonBlocking(fd.get(), true);
   const std::uint16_t bound = localPort(fd.get());
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   listenFd_ = std::move(fd);
   return bound;
 }
 
 void Reactor::stopListening() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     listenFd_.reset();
   }
   wakeup();
@@ -50,7 +50,7 @@ void Reactor::stopListening() {
 
 void Reactor::stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     stop_ = true;
   }
   wakeup();
@@ -65,7 +65,7 @@ void Reactor::wakeup() {
 bool Reactor::send(ConnId conn, FrameType type, std::string_view payload) {
   const std::string bytes = encodeFrame(type, payload);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     const auto it = conns_.find(conn);
     if (it == conns_.end() || it->second->closing) return false;
     Conn& c = *it->second;
@@ -77,14 +77,14 @@ bool Reactor::send(ConnId conn, FrameType type, std::string_view payload) {
 }
 
 std::size_t Reactor::queuedBytes(ConnId conn) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   const auto it = conns_.find(conn);
   return it == conns_.end() ? 0 : pendingOf(*it->second);
 }
 
 void Reactor::close(ConnId conn, bool flushFirst) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     const auto it = conns_.find(conn);
     if (it == conns_.end()) return;
     Conn& c = *it->second;
@@ -98,14 +98,14 @@ void Reactor::close(ConnId conn, bool flushFirst) {
 }
 
 std::size_t Reactor::connectionCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return conns_.size();
 }
 
 void Reactor::destroyConn(ConnId id, const std::string& reason) {
   std::unique_ptr<Conn> dead;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     const auto it = conns_.find(id);
     if (it == conns_.end()) return;
     dead = std::move(it->second);
@@ -119,7 +119,7 @@ void Reactor::handleAccept() {
   for (;;) {
     int fd;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::LockGuard lock(mutex_);
       if (!listenFd_.valid()) return;
       fd = ::accept(listenFd_.get(), nullptr, nullptr);
     }
@@ -136,7 +136,7 @@ void Reactor::handleAccept() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     ConnId id;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::LockGuard lock(mutex_);
       id = nextId_++;
       auto conn = std::make_unique<Conn>();
       conn->fd = ScopedFd(fd);
@@ -151,7 +151,7 @@ bool Reactor::handleReadable(ConnId id) {
   int fd = -1;
   Conn* c = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     const auto it = conns_.find(id);
     if (it == conns_.end() || it->second->closing) return true;
     c = it->second.get();
@@ -192,7 +192,7 @@ bool Reactor::handleReadable(ConnId id) {
     if (handlers_.onFrame) handlers_.onFrame(id, std::move(*frame));
     {
       // The handler may have initiated a close; stop parsing if so.
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::LockGuard lock(mutex_);
       const auto it = conns_.find(id);
       if (it == conns_.end() || it->second->closing) return true;
     }
@@ -204,7 +204,7 @@ bool Reactor::handleWritable(ConnId id) {
   bool fireWritable = false;
   bool closeNow = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     const auto it = conns_.find(id);
     if (it == conns_.end()) return true;
     Conn& c = *it->second;
@@ -248,7 +248,7 @@ bool Reactor::handleWritable(ConnId id) {
 
 void Reactor::run() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     running_ = true;
   }
   std::vector<pollfd> fds;
@@ -257,7 +257,7 @@ void Reactor::run() {
     // Retire connections whose flush completed while we were busy.
     std::vector<ConnId> retire;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::LockGuard lock(mutex_);
       if (stop_) break;
       for (const auto& [id, conn] : conns_) {
         if (conn->closing && pendingOf(*conn) == 0) retire.push_back(id);
@@ -269,7 +269,7 @@ void Reactor::run() {
     ids.clear();
     int listenIdx = -1;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::LockGuard lock(mutex_);
       fds.push_back({wakeRead_.get(), POLLIN, 0});
       if (listenFd_.valid()) {
         listenIdx = static_cast<int>(fds.size());
@@ -314,11 +314,11 @@ void Reactor::run() {
   // Stopped: tear down every remaining connection.
   std::vector<ConnId> leftovers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     for (const auto& [id, conn] : conns_) leftovers.push_back(id);
   }
   for (const ConnId id : leftovers) destroyConn(id, "reactor stopped");
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   running_ = false;
 }
 

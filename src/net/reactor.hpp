@@ -28,11 +28,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace adpm::net {
 
@@ -116,13 +116,17 @@ class Reactor {
   Options options_;
   Handlers handlers_;
 
-  mutable std::mutex mutex_;
-  ScopedFd listenFd_;
+  mutable util::Mutex mutex_;
+  ScopedFd listenFd_ ADPM_GUARDED_BY(mutex_);
+  /// Self-pipe ends; written once in the constructor, read-only after.
   ScopedFd wakeRead_, wakeWrite_;
-  std::map<ConnId, std::unique_ptr<Conn>> conns_;
-  ConnId nextId_ = 1;
-  bool stop_ = false;
-  bool running_ = false;
+  /// The map is guarded; a Conn's *fields* (parser, outbuf, ...) are owned
+  /// by the reactor thread once accepted — pointers that escape the lock
+  /// are only dereferenced on that thread (see handleReadable).
+  std::map<ConnId, std::unique_ptr<Conn>> conns_ ADPM_GUARDED_BY(mutex_);
+  ConnId nextId_ ADPM_GUARDED_BY(mutex_) = 1;
+  bool stop_ ADPM_GUARDED_BY(mutex_) = false;
+  bool running_ ADPM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace adpm::net

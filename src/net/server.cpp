@@ -32,7 +32,7 @@ Server::Server(service::SessionStore& store, Options options)
 Server::~Server() {
   if (running_.load()) kill();
   reapRetiredPumps();
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   for (auto& pump : retiredPumps_) {
     if (pump->thread.joinable()) pump->thread.join();
   }
@@ -69,7 +69,7 @@ std::chrono::milliseconds Server::effectiveTimeout() const {
 void Server::handleAccept(Reactor::ConnId conn) {
   ++accepted_;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     conns_.emplace(conn, ConnState{});
   }
   reapRetiredPumps();
@@ -83,13 +83,13 @@ void Server::handleClose(Reactor::ConnId conn) {
 void Server::handleWritable(Reactor::ConnId conn) {
   std::shared_ptr<Gate> gate;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     const auto it = conns_.find(conn);
     if (it == conns_.end()) return;
     gate = it->second.gate;
   }
   {
-    std::lock_guard<std::mutex> lock(gate->mutex);
+    util::LockGuard lock(gate->mutex);
   }
   gate->cv.notify_all();
 }
@@ -97,20 +97,20 @@ void Server::handleWritable(Reactor::ConnId conn) {
 void Server::retireConn(Reactor::ConnId conn) {
   ConnState state;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     const auto it = conns_.find(conn);
     if (it == conns_.end()) return;
     state = std::move(it->second);
     conns_.erase(it);
   }
   {
-    std::lock_guard<std::mutex> lock(state.gate->mutex);
+    util::LockGuard lock(state.gate->mutex);
     state.gate->open = false;
   }
   state.gate->cv.notify_all();
   for (auto& pump : state.pumps) pump->queue->close();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     for (auto& pump : state.pumps) retiredPumps_.push_back(std::move(pump));
   }
   reapRetiredPumps();
@@ -121,7 +121,7 @@ void Server::reapRetiredPumps() {
   // finished thread is immediate); the rest wait for shutdown()/~Server.
   std::vector<std::unique_ptr<Pump>> done;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     auto it = retiredPumps_.begin();
     while (it != retiredPumps_.end()) {
       if ((*it)->done.load()) {
@@ -445,7 +445,7 @@ void Server::startPump(Reactor::ConnId conn, const std::string& sessionId,
   std::shared_ptr<Gate> gate;
   Pump* raw = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     const auto it = conns_.find(conn);
     if (it == conns_.end()) {
       queue->close();
@@ -479,10 +479,10 @@ void Server::pumpLoop(Reactor::ConnId conn, std::string sessionId,
       // its bus queue — which is exactly what arms the bus's degraded mode
       // for a persistently slow consumer.  The wait re-polls on a short
       // timer as well as on the onWritable signal.
-      std::unique_lock<std::mutex> lock(gate->mutex);
+      util::UniqueLock lock(gate->mutex);
       while (gate->open && !stopping_.load() &&
              reactor_->queuedBytes(conn) >= options_.reactor.writeHighWater) {
-        gate->cv.wait_for(lock, std::chrono::milliseconds(50));
+        (void)gate->cv.wait_for(lock, std::chrono::milliseconds(50));
       }
       alive = gate->open && !stopping_.load();
     }
@@ -507,7 +507,7 @@ bool Server::shutdown(std::chrono::milliseconds drainDeadline) {
   const std::string payload = json::serialize(farewell);
   std::vector<Reactor::ConnId> ids;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     ids.reserve(conns_.size());
     for (const auto& [id, state] : conns_) ids.push_back(id);
   }
@@ -520,24 +520,27 @@ bool Server::shutdown(std::chrono::milliseconds drainDeadline) {
   // is detached — it finishes as soon as the stuck strand does, and the
   // process (this is the forced-exit path) is about to end anyway.
   struct DrainState {
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool done = false;
+    util::Mutex mutex;
+    util::CondVar cv;
+    bool done ADPM_GUARDED_BY(mutex) = false;
   };
   auto state = std::make_shared<DrainState>();
   std::thread drainer([this, state] {
     store_.drain();
     {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      util::LockGuard lock(state->mutex);
       state->done = true;
     }
     state->cv.notify_all();
   });
   bool drained;
   {
-    std::unique_lock<std::mutex> lock(state->mutex);
-    drained = state->cv.wait_for(lock, drainDeadline,
-                                 [&state] { return state->done; });
+    const auto deadline = std::chrono::steady_clock::now() + drainDeadline;
+    util::UniqueLock lock(state->mutex);
+    while (!state->done &&
+           state->cv.wait_until(lock, deadline) != std::cv_status::timeout) {
+    }
+    drained = state->done;
   }
   if (drained) {
     drainer.join();
@@ -549,7 +552,7 @@ bool Server::shutdown(std::chrono::milliseconds drainDeadline) {
   // and farewells when the drain completed, dropping them when it didn't.
   stopping_.store(true);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     for (auto& [id, connState] : conns_) connState.gate->cv.notify_all();
     ids.clear();
     for (const auto& [id, connState] : conns_) ids.push_back(id);
@@ -570,7 +573,7 @@ bool Server::shutdown(std::chrono::milliseconds drainDeadline) {
   // every pump; join them all.
   std::vector<std::unique_ptr<Pump>> pumps;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     pumps.swap(retiredPumps_);
   }
   for (auto& pump : pumps) {
@@ -585,7 +588,7 @@ void Server::kill() {
   draining_.store(true);
   stopping_.store(true);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     for (auto& [id, state] : conns_) state.gate->cv.notify_all();
   }
   reactor_->stop();
@@ -596,7 +599,7 @@ void Server::kill() {
   store_.drain();
   std::vector<std::unique_ptr<Pump>> pumps;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     pumps.swap(retiredPumps_);
   }
   for (auto& pump : pumps) {

@@ -31,12 +31,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +43,7 @@
 #include "net/reactor.hpp"
 #include "service/store.hpp"
 #include "util/json.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace adpm::net {
 
@@ -97,15 +96,16 @@ class Server {
   /// Forced stop: no drain, no farewell.
   void kill();
 
-  std::uint16_t port() const noexcept { return port_; }
+  std::uint16_t port() const noexcept { return port_.load(); }
   bool running() const noexcept { return running_.load(); }
   Stats stats() const;
 
  private:
   struct Gate {
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool open = true;  // false once the connection died or the server stops
+    util::Mutex mutex;
+    util::CondVar cv;
+    /// False once the connection died or the server stops.
+    bool open ADPM_GUARDED_BY(mutex) = true;
   };
 
   struct Pump {
@@ -144,14 +144,16 @@ class Server {
   Options options_;
   std::unique_ptr<Reactor> reactor_;
   std::thread reactorThread_;
-  std::uint16_t port_ = 0;
+  /// Atomic: start() publishes the bound port while other threads (CLI
+  /// status printers, tests) may already be polling port().
+  std::atomic<std::uint16_t> port_{0};
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopping_{false};
 
-  mutable std::mutex mutex_;
-  std::map<Reactor::ConnId, ConnState> conns_;
-  std::vector<std::unique_ptr<Pump>> retiredPumps_;
+  mutable util::Mutex mutex_;
+  std::map<Reactor::ConnId, ConnState> conns_ ADPM_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<Pump>> retiredPumps_ ADPM_GUARDED_BY(mutex_);
 
   std::atomic<std::size_t> accepted_{0}, closed_{0}, frames_{0}, results_{0},
       errors_{0}, protocolErrors_{0}, timeouts_{0}, pushes_{0},

@@ -14,7 +14,7 @@ std::shared_ptr<NotificationBus::Queue> NotificationBus::subscribe(
     const std::string& sessionId, const std::string& designer,
     std::size_t capacity, util::OverflowPolicy overflow) {
   auto queue = std::make_shared<Queue>(capacity, overflow);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   bySession_[sessionId].push_back(
       Subscription{designer, queue, std::make_shared<SubscriberState>()});
   return queue;
@@ -28,7 +28,7 @@ void NotificationBus::publish(const std::string& sessionId,
     // A lossy bus, not a failed operation: the session applied and
     // journaled the op, only its fan-out evaporates (counted, not thrown —
     // throwing here would fail an apply whose state change already exists).
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     injectedFailures_ += batch.size();
     return;
   }
@@ -38,7 +38,7 @@ void NotificationBus::publish(const std::string& sessionId,
   // must not hold up subscribe()/closeSession() on other sessions.
   std::vector<Subscription> targets;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     published_ += batch.size();
     const auto it = bySession_.find(sessionId);
     if (it != bySession_.end()) targets = it->second;
@@ -107,7 +107,7 @@ void NotificationBus::publish(const std::string& sessionId,
     if (!routed) ++unrouted;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     delivered_ += delivered;
     unrouted_ += unrouted;
     downgrades_ += downgrades;
@@ -119,7 +119,7 @@ void NotificationBus::publish(const std::string& sessionId,
 void NotificationBus::closeSession(const std::string& sessionId) {
   std::vector<Subscription> victims;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     const auto it = bySession_.find(sessionId);
     if (it == bySession_.end()) return;
     victims = std::move(it->second);
@@ -130,36 +130,36 @@ void NotificationBus::closeSession(const std::string& sessionId) {
     sub.queue->close();
     dropped += sub.queue->dropped();
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   retiredDropped_ += dropped;
 }
 
 void NotificationBus::closeAll() {
   std::vector<std::string> ids;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     for (const auto& [id, subs] : bySession_) ids.push_back(id);
   }
   for (const std::string& id : ids) closeSession(id);
 }
 
 std::size_t NotificationBus::published() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return published_;
 }
 
 std::size_t NotificationBus::delivered() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return delivered_;
 }
 
 std::size_t NotificationBus::unrouted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return unrouted_;
 }
 
 std::size_t NotificationBus::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::size_t total = retiredDropped_;
   for (const auto& [id, subs] : bySession_) {
     for (const Subscription& sub : subs) total += sub.queue->dropped();
@@ -168,24 +168,24 @@ std::size_t NotificationBus::dropped() const {
 }
 
 std::size_t NotificationBus::downgrades() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return downgrades_;
 }
 
 std::size_t NotificationBus::coalesced() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return coalesced_;
 }
 
 std::size_t NotificationBus::injectedFailures() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return injectedFailures_;
 }
 
 std::vector<NotificationBus::SubscriberStats> NotificationBus::subscriberStats()
     const {
   std::vector<SubscriberStats> out;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   for (const auto& [sessionId, subs] : bySession_) {
     for (const Subscription& sub : subs) {
       SubscriberStats s;

@@ -25,12 +25,12 @@
 #include <cstddef>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "dpm/notification.hpp"
 #include "util/mpsc_queue.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace adpm::service {
 
@@ -131,17 +131,18 @@ class NotificationBus {
   };
 
   Options options_;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::vector<Subscription>> bySession_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::vector<Subscription>> bySession_
+      ADPM_GUARDED_BY(mutex_);
   /// Drop counts of queues already closed/forgotten, so dropped() never
   /// goes backwards when a session closes.
-  std::size_t retiredDropped_ = 0;
-  std::size_t published_ = 0;
-  std::size_t delivered_ = 0;
-  std::size_t unrouted_ = 0;
-  std::size_t downgrades_ = 0;
-  std::size_t coalesced_ = 0;
-  std::size_t injectedFailures_ = 0;
+  std::size_t retiredDropped_ ADPM_GUARDED_BY(mutex_) = 0;
+  std::size_t published_ ADPM_GUARDED_BY(mutex_) = 0;
+  std::size_t delivered_ ADPM_GUARDED_BY(mutex_) = 0;
+  std::size_t unrouted_ ADPM_GUARDED_BY(mutex_) = 0;
+  std::size_t downgrades_ ADPM_GUARDED_BY(mutex_) = 0;
+  std::size_t coalesced_ ADPM_GUARDED_BY(mutex_) = 0;
+  std::size_t injectedFailures_ ADPM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace adpm::service

@@ -67,7 +67,7 @@ void SessionStore::open(const std::string& id, const dpm::ScenarioSpec& spec,
   // check, the header write, and the map insertion: two racing open("x")
   // calls must not both write a header (OperationLog::read rejects a
   // two-header log as corrupt, which would make the session unrecoverable).
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   if (sessions_.contains(id)) {
     throw adpm::InvalidArgumentError("session '" + id + "' already open");
   }
@@ -94,7 +94,7 @@ std::vector<std::string> SessionStore::recover() {
   std::vector<std::string> errors;
   std::vector<RecoveryEvent> events;
   if (options_.walDir.empty()) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     recoverErrors_.clear();
     recoverEvents_.clear();
     return recovered;
@@ -122,7 +122,7 @@ std::vector<std::string> SessionStore::recover() {
           path.string(), options_.session, options_.recovery, &salvage);
       std::string id = session->id();
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::LockGuard lock(mutex_);
         if (sessions_.contains(id)) continue;  // already live, skip the log
         adoptLocked(id, std::move(session));
       }
@@ -146,19 +146,19 @@ std::vector<std::string> SessionStore::recover() {
       events.push_back(std::move(event));
     }
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   recoverErrors_ = std::move(errors);
   recoverEvents_ = std::move(events);
   return recovered;
 }
 
 std::vector<std::string> SessionStore::recoverErrors() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return recoverErrors_;
 }
 
 std::vector<RecoveryEvent> SessionStore::recoverReport() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return recoverEvents_;
 }
 
@@ -169,7 +169,7 @@ void SessionStore::backoffBeforeRetry(unsigned attempt) {
   micros = std::min(micros, static_cast<double>(policy.backoffCap.count()));
   double factor = 1.0;
   {
-    std::lock_guard<std::mutex> lock(retryMutex_);
+    util::LockGuard lock(retryMutex_);
     ++retries_;
     if (policy.jitter > 0.0) {
       factor = retryRng_.uniform(1.0 - policy.jitter, 1.0 + policy.jitter);
@@ -181,17 +181,17 @@ void SessionStore::backoffBeforeRetry(unsigned attempt) {
 }
 
 void SessionStore::noteTimeout() {
-  std::lock_guard<std::mutex> lock(retryMutex_);
+  util::LockGuard lock(retryMutex_);
   ++timeouts_;
 }
 
 std::size_t SessionStore::retries() const {
-  std::lock_guard<std::mutex> lock(retryMutex_);
+  util::LockGuard lock(retryMutex_);
   return retries_;
 }
 
 std::size_t SessionStore::timeouts() const {
-  std::lock_guard<std::mutex> lock(retryMutex_);
+  util::LockGuard lock(retryMutex_);
   return timeouts_;
 }
 
@@ -210,7 +210,7 @@ void SessionStore::adoptLocked(const std::string& id,
 void SessionStore::close(const std::string& id) {
   std::shared_ptr<Entry> entry;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     const auto it = sessions_.find(id);
     if (it == sessions_.end()) return;
     entry = std::move(it->second);
@@ -223,7 +223,7 @@ void SessionStore::close(const std::string& id) {
 
 std::shared_ptr<SessionStore::Entry> SessionStore::entryOf(
     const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   const auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     throw adpm::InvalidArgumentError("unknown session '" + id + "'");
@@ -232,7 +232,7 @@ std::shared_ptr<SessionStore::Entry> SessionStore::entryOf(
 }
 
 std::vector<std::string> SessionStore::ids() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::vector<std::string> out;
   out.reserve(sessions_.size());
   for (const auto& [id, entry] : sessions_) out.push_back(id);
@@ -240,12 +240,12 @@ std::vector<std::string> SessionStore::ids() const {
 }
 
 std::size_t SessionStore::sessionCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return sessions_.size();
 }
 
 bool SessionStore::has(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return sessions_.contains(id);
 }
 
@@ -292,7 +292,7 @@ std::shared_ptr<NotificationBus::Queue> SessionStore::subscribe(
   // a live queue left on a dead session, which would hang its consumer's
   // blocking pop() forever.  Lock order store→bus is consistent everywhere;
   // the bus never calls back into the store.
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   if (!sessions_.contains(id)) {
     throw adpm::InvalidArgumentError("unknown session '" + id + "'");
   }

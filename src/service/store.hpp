@@ -28,7 +28,6 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <type_traits>
@@ -39,6 +38,7 @@
 #include "util/error.hpp"
 #include "util/executor.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace adpm::service {
 
@@ -182,8 +182,10 @@ class SessionStore {
   };
 
   std::shared_ptr<Entry> entryOf(const std::string& id) const;
-  /// Wires up and inserts a session entry; mutex_ must be held.
-  void adoptLocked(const std::string& id, std::unique_ptr<Session> session);
+  /// Wires up and inserts a session entry (the annotation enforces the
+  /// caller already holds the store lock).
+  void adoptLocked(const std::string& id, std::unique_ptr<Session> session)
+      ADPM_REQUIRES(mutex_);
   std::string walPathOf(const std::string& id) const;
 
   /// Sleeps the policy backoff before retry `attempt` (1-based), with
@@ -226,14 +228,15 @@ class SessionStore {
   void noteTimeout();
 
   Options options_;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<Entry>> sessions_;
-  std::vector<std::string> recoverErrors_;
-  std::vector<RecoveryEvent> recoverEvents_;
-  mutable std::mutex retryMutex_;
-  util::Rng retryRng_{0};
-  std::size_t retries_ = 0;
-  std::size_t timeouts_ = 0;
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::shared_ptr<Entry>> sessions_
+      ADPM_GUARDED_BY(mutex_);
+  std::vector<std::string> recoverErrors_ ADPM_GUARDED_BY(mutex_);
+  std::vector<RecoveryEvent> recoverEvents_ ADPM_GUARDED_BY(mutex_);
+  mutable util::Mutex retryMutex_;
+  util::Rng retryRng_ ADPM_GUARDED_BY(retryMutex_){0};
+  std::size_t retries_ ADPM_GUARDED_BY(retryMutex_) = 0;
+  std::size_t timeouts_ ADPM_GUARDED_BY(retryMutex_) = 0;
   NotificationBus bus_;
   /// Last member: its destructor drains/joins while sessions and bus are
   /// still alive for in-flight strand tasks.

@@ -29,7 +29,7 @@ Executor::Executor(Options options) : options_(options) {
 Executor::~Executor() {
   drain();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
@@ -47,7 +47,7 @@ void Executor::post(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     ++pending_;
     // The pool queue itself carries no completion bookkeeping (strand
     // dispatches ride it too, uncounted), so the posted task retires itself.
@@ -61,16 +61,16 @@ void Executor::post(std::function<void()> task) {
 
 void Executor::drain() {
   if (options_.deterministic) return;
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return pending_ == 0; });
+  UniqueLock lock(mutex_);
+  while (pending_ != 0) idle_.wait(lock);
 }
 
 void Executor::workerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!stop_ && queue_.empty()) wake_.wait(lock);
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -86,7 +86,7 @@ void Executor::workerLoop() {
 void Executor::finishOne() {
   std::size_t left;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     left = --pending_;
   }
   if (left == 0) idle_.notify_all();
@@ -105,7 +105,7 @@ void Executor::Strand::post(std::function<void()> task) {
   if (executor_.options_.deterministic) {
     bool drainHere = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       queue_.push_back(std::move(task));
       if (!active_) {
         active_ = true;
@@ -122,12 +122,12 @@ void Executor::Strand::post(std::function<void()> task) {
   // the count transiently hit 0 (drain() returning with work still queued)
   // and then underflow.
   {
-    std::lock_guard<std::mutex> lock(executor_.mutex_);
+    LockGuard lock(executor_.mutex_);
     ++executor_.pending_;
   }
   bool schedule = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     queue_.push_back(std::move(task));
     if (!active_) {
       active_ = true;
@@ -136,7 +136,7 @@ void Executor::Strand::post(std::function<void()> task) {
   }
   if (schedule) {
     {
-      std::lock_guard<std::mutex> lock(executor_.mutex_);
+      LockGuard lock(executor_.mutex_);
       // Internal dispatch: runs one strand task per pool slot; not counted
       // as a task itself (pending_ tracks user tasks only).
       executor_.queue_.push_back([this] { runOne(); });
@@ -148,7 +148,7 @@ void Executor::Strand::post(std::function<void()> task) {
 void Executor::Strand::runOne() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     task = std::move(queue_.front());
     queue_.pop_front();
   }
@@ -160,7 +160,7 @@ void Executor::Strand::runOne() {
   // strand, so no strand state may be touched after finishOne().
   bool reschedule = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     if (queue_.empty()) {
       active_ = false;
     } else {
@@ -169,7 +169,7 @@ void Executor::Strand::runOne() {
   }
   if (reschedule) {
     {
-      std::lock_guard<std::mutex> lock(executor_.mutex_);
+      LockGuard lock(executor_.mutex_);
       executor_.queue_.push_back([this] { runOne(); });
     }
     executor_.wake_.notify_one();
@@ -181,7 +181,7 @@ void Executor::Strand::drainInline() {
   for (;;) {
     std::function<void()> task;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       if (queue_.empty()) {
         active_ = false;
         return;

@@ -14,14 +14,14 @@
 // tests and the WAL determinism guarantee rely on.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace adpm::util {
 
@@ -71,11 +71,11 @@ class Executor {
     void drainInline();
 
     Executor& executor_;
-    std::mutex mutex_;
-    std::deque<std::function<void()>> queue_;
+    Mutex mutex_;
+    std::deque<std::function<void()>> queue_ ADPM_GUARDED_BY(mutex_);
     /// True while a pool dispatch is pending/running (or, deterministic
     /// mode, while the posting thread is draining) — the serialization bit.
-    bool active_ = false;
+    bool active_ ADPM_GUARDED_BY(mutex_) = false;
   };
 
   std::shared_ptr<Strand> makeStrand();
@@ -89,12 +89,14 @@ class Executor {
   Options options_;
   unsigned workerCount_ = 0;
 
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t pending_ = 0;  // posted but not yet finished tasks
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar wake_;
+  CondVar idle_;
+  std::deque<std::function<void()>> queue_ ADPM_GUARDED_BY(mutex_);
+  /// Posted but not yet finished tasks.
+  std::size_t pending_ ADPM_GUARDED_BY(mutex_) = 0;
+  bool stop_ ADPM_GUARDED_BY(mutex_) = false;
+  /// Written only before/after the workers exist (ctor/dtor).
   std::vector<std::thread> workers_;
 };
 

@@ -4,12 +4,12 @@
 #include <chrono>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <thread>
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace adpm::util {
 
@@ -35,8 +35,8 @@ struct FaultRegistry::Impl {
   /// Lock-free "anything armed at all?" gate: the common case (registry
   /// compiled in but idle) costs one relaxed load per probe.
   std::atomic<std::size_t> armedCount{0};
-  mutable std::mutex mutex;
-  std::map<std::string, Point> points;
+  mutable Mutex mutex;
+  std::map<std::string, Point> points ADPM_GUARDED_BY(mutex);
 };
 
 FaultRegistry::Impl& FaultRegistry::impl() const {
@@ -51,7 +51,7 @@ FaultRegistry& FaultRegistry::instance() {
 
 void FaultRegistry::arm(const std::string& point, FaultPlan plan) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  LockGuard lock(i.mutex);
   Impl::Point& p = i.points[point];
   p.plan = plan;
   p.rng.reseed(plan.seed);
@@ -62,14 +62,14 @@ void FaultRegistry::arm(const std::string& point, FaultPlan plan) {
 
 void FaultRegistry::disarm(const std::string& point) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  LockGuard lock(i.mutex);
   i.points.erase(point);
   i.armedCount.store(i.points.size(), std::memory_order_release);
 }
 
 void FaultRegistry::reset() {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  LockGuard lock(i.mutex);
   i.points.clear();
   i.armedCount.store(0, std::memory_order_release);
 }
@@ -82,7 +82,7 @@ FaultAction FaultRegistry::check(const char* point) {
   FaultAction action = FaultAction::None;
   unsigned delayMicros = 0;
   {
-    std::lock_guard<std::mutex> lock(i.mutex);
+    LockGuard lock(i.mutex);
     const auto it = i.points.find(point);
     if (it == i.points.end()) return FaultAction::None;
     Impl::Point& p = it->second;
@@ -116,21 +116,21 @@ FaultAction FaultRegistry::check(const char* point) {
 
 std::uint64_t FaultRegistry::hits(const std::string& point) const {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  LockGuard lock(i.mutex);
   const auto it = i.points.find(point);
   return it == i.points.end() ? 0 : it->second.hits;
 }
 
 std::uint64_t FaultRegistry::fired(const std::string& point) const {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  LockGuard lock(i.mutex);
   const auto it = i.points.find(point);
   return it == i.points.end() ? 0 : it->second.fired;
 }
 
 std::vector<std::string> FaultRegistry::armed() const {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  LockGuard lock(i.mutex);
   std::vector<std::string> out;
   out.reserve(i.points.size());
   for (const auto& [name, point] : i.points) out.push_back(name);

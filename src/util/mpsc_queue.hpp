@@ -14,15 +14,17 @@
 //
 // A mutex + condvar implementation: notification batches are tiny compared
 // to the DCM work producing them, so contention is negligible, and the lock
-// gives TSan-clean happens-before edges for free.
+// gives TSan-clean happens-before edges for free.  The annotated primitives
+// (util/thread_annotations.hpp) make the "everything mutable is under the
+// lock" rule compiler-checked under Clang.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/thread_annotations.hpp"
 
 namespace adpm::util {
 
@@ -42,43 +44,47 @@ class BoundedMpscQueue {
   /// item is discarded, not counted as dropped).  Under Block this waits for
   /// space; under DropOldest it evicts the front item and counts the drop.
   bool push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (policy_ == OverflowPolicy::Block) {
-      space_.wait(lock,
-                  [this] { return closed_ || items_.size() < capacity_; });
-      if (closed_) return false;
-    } else {
-      if (closed_) return false;
-      if (items_.size() >= capacity_) {
-        items_.pop_front();
-        ++dropped_;
+    {
+      UniqueLock lock(mutex_);
+      if (policy_ == OverflowPolicy::Block) {
+        while (!closed_ && items_.size() >= capacity_) space_.wait(lock);
+        if (closed_) return false;
+      } else {
+        if (closed_) return false;
+        if (items_.size() >= capacity_) {
+          items_.pop_front();
+          ++dropped_;
+        }
       }
+      items_.push_back(std::move(item));
     }
-    items_.push_back(std::move(item));
-    lock.unlock();
     ready_.notify_one();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed and empty.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+    std::optional<T> item;
+    {
+      UniqueLock lock(mutex_);
+      while (!closed_ && items_.empty()) ready_.wait(lock);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
     space_.notify_one();
     return item;
   }
 
   /// Non-blocking pop.
   std::optional<T> tryPop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+    std::optional<T> item;
+    {
+      LockGuard lock(mutex_);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
     space_.notify_one();
     return item;
   }
@@ -87,7 +93,7 @@ class BoundedMpscQueue {
   /// poppable, further pushes are refused.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       closed_ = true;
     }
     ready_.notify_all();
@@ -95,18 +101,18 @@ class BoundedMpscQueue {
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     return items_.size();
   }
 
   /// Items evicted by DropOldest since construction.
   std::size_t dropped() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     return dropped_;
   }
 
@@ -116,12 +122,12 @@ class BoundedMpscQueue {
  private:
   const std::size_t capacity_;
   const OverflowPolicy policy_;
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;  // consumer waits: item available / closed
-  std::condition_variable space_;  // producers wait (Block): room available
-  std::deque<T> items_;
-  std::size_t dropped_ = 0;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar ready_;  // consumer waits: item available / closed
+  CondVar space_;  // producers wait (Block): room available
+  std::deque<T> items_ ADPM_GUARDED_BY(mutex_);
+  std::size_t dropped_ ADPM_GUARDED_BY(mutex_) = 0;
+  bool closed_ ADPM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace adpm::util

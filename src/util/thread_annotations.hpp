@@ -1,0 +1,189 @@
+// Compile-time concurrency discipline: Clang thread-safety annotations and
+// the annotated locking primitives every other module must use.
+//
+// The service spans three concurrency layers — executor strands, the
+// session store / notification bus / WAL core, and the reactor front-end —
+// whose correctness rests on lock and strand invariants.  TSan and review
+// catch violations at runtime, on the schedules a test happens to explore;
+// Clang's thread-safety analysis (-Wthread-safety) proves the locking rules
+// on *every* path at compile time.  This header provides:
+//
+//   * ADPM_* macros wrapping Clang's capability attributes, expanding to
+//     nothing on compilers without the analysis (GCC builds are untouched);
+//   * util::Mutex / util::CondVar / util::LockGuard / util::UniqueLock —
+//     std::mutex-family wrappers carrying the annotations.  These are the
+//     ONLY locking primitives allowed in src/ (scripts/lint_invariants.py
+//     enforces it); raw std::mutex would be invisible to the analysis.
+//
+// Conventions (see docs/ARCHITECTURE.md §13 for the lock-order table):
+//   * every field a mutex protects is declared ADPM_GUARDED_BY(mutex_);
+//   * a private method that must run with a lock already held is declared
+//     ADPM_REQUIRES(mutex_) instead of re-locking;
+//   * condition-variable waits are written as explicit while loops around
+//     CondVar::wait, never predicate lambdas — the analysis checks a lambda
+//     body as a separate function that does not hold the caller's locks, so
+//     a predicate reading guarded fields cannot be proven safe.
+//
+// The std::condition_variable bridge: CondVar::wait adopts the UniqueLock's
+// underlying std::mutex for the duration of the wait and releases it back,
+// so from the caller's (and the analysis') point of view the capability is
+// held continuously across the wait — which matches the semantics callers
+// rely on (the lock is held whenever user code runs).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// -- attribute macros ---------------------------------------------------------
+
+#if defined(__clang__)
+#define ADPM_TSA(x) __attribute__((x))
+#else
+#define ADPM_TSA(x)  // no-op: GCC has no thread-safety analysis
+#endif
+
+/// A type that models a capability (a lock).
+#define ADPM_CAPABILITY(x) ADPM_TSA(capability(x))
+/// An RAII type that acquires a capability at construction and releases it
+/// at destruction.
+#define ADPM_SCOPED_CAPABILITY ADPM_TSA(scoped_lockable)
+/// Field readable/writable only while holding the given capability.
+#define ADPM_GUARDED_BY(x) ADPM_TSA(guarded_by(x))
+/// Pointer whose *pointee* is protected by the given capability.
+#define ADPM_PT_GUARDED_BY(x) ADPM_TSA(pt_guarded_by(x))
+/// Function that may only be called while holding the given capabilities.
+#define ADPM_REQUIRES(...) ADPM_TSA(requires_capability(__VA_ARGS__))
+/// Function that acquires the given capabilities (held on return).
+#define ADPM_ACQUIRE(...) ADPM_TSA(acquire_capability(__VA_ARGS__))
+/// Function that releases the given capabilities (held on entry).
+#define ADPM_RELEASE(...) ADPM_TSA(release_capability(__VA_ARGS__))
+/// Function that acquires the capabilities when it returns `ret`.
+#define ADPM_TRY_ACQUIRE(ret, ...) \
+  ADPM_TSA(try_acquire_capability(ret, __VA_ARGS__))
+/// Function that must NOT be called while holding the given capabilities
+/// (self-deadlock guard on non-reentrant locks).
+#define ADPM_EXCLUDES(...) ADPM_TSA(locks_excluded(__VA_ARGS__))
+/// Declares a lock-acquisition ordering between two capabilities.
+#define ADPM_ACQUIRED_BEFORE(...) ADPM_TSA(acquired_before(__VA_ARGS__))
+#define ADPM_ACQUIRED_AFTER(...) ADPM_TSA(acquired_after(__VA_ARGS__))
+/// Function returning a reference to the capability guarding its result.
+#define ADPM_RETURN_CAPABILITY(x) ADPM_TSA(lock_returned(x))
+/// Escape hatch: the function's body is not analyzed.  Every use must carry
+/// a comment justifying why the analysis cannot see the invariant.
+#define ADPM_NO_THREAD_SAFETY_ANALYSIS ADPM_TSA(no_thread_safety_analysis)
+
+namespace adpm::util {
+
+class CondVar;
+
+/// std::mutex carrying the `capability` annotation.  Non-recursive,
+/// non-timed — exactly the subset the codebase uses.
+class ADPM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ADPM_ACQUIRE() { m_.lock(); }
+  void unlock() ADPM_RELEASE() { m_.unlock(); }
+  bool try_lock() ADPM_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;  // wait() adopts m_ for the blocking syscall
+  std::mutex m_;
+};
+
+/// std::lock_guard equivalent: scope-bound exclusive hold, no early release.
+class ADPM_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) ADPM_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~LockGuard() ADPM_RELEASE() { mutex_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// std::unique_lock equivalent for CondVar waits and early release.
+/// Relockable: unlock()/lock() toggle the held state and the analysis
+/// tracks it (Clang models scoped capabilities with manual release).
+class ADPM_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) ADPM_ACQUIRE(mutex) : mutex_(&mutex) {
+    mutex_->lock();
+    owned_ = true;
+  }
+  ~UniqueLock() ADPM_RELEASE() {
+    if (owned_) mutex_->unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void unlock() ADPM_RELEASE() {
+    mutex_->unlock();
+    owned_ = false;
+  }
+  void lock() ADPM_ACQUIRE() {
+    mutex_->lock();
+    owned_ = true;
+  }
+  bool ownsLock() const noexcept { return owned_; }
+
+ private:
+  friend class CondVar;
+  Mutex* mutex_;
+  bool owned_ = false;
+};
+
+/// std::condition_variable over util::Mutex.  Waits take a held UniqueLock;
+/// write them as explicit `while (!condition) cv.wait(lock);` loops (see the
+/// header comment for why predicate lambdas defeat the analysis).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically releases the lock, blocks, and re-acquires before
+  /// returning.  The caller must hold `lock`; it holds it again on return,
+  /// so the capability is continuously held from the analysis' view.
+  void wait(UniqueLock& lock) ADPM_REQUIRES(lock) {
+    std::unique_lock<std::mutex> inner(lock.mutex_->m_, std::adopt_lock);
+    cv_.wait(inner);
+    inner.release();  // ownership stays with the UniqueLock
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& d)
+      ADPM_REQUIRES(lock) {
+    std::unique_lock<std::mutex> inner(lock.mutex_->m_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(inner, d);
+    inner.release();
+    return status;
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(UniqueLock& lock,
+                            const std::chrono::time_point<Clock, Duration>& tp)
+      ADPM_REQUIRES(lock) {
+    std::unique_lock<std::mutex> inner(lock.mutex_->m_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(inner, tp);
+    inner.release();
+    return status;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace adpm::util

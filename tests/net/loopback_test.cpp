@@ -6,6 +6,7 @@
 // pushes, and malformed-frame handling.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <map>
@@ -66,6 +67,35 @@ class LoopbackTest : public ::testing::Test {
 
   fs::path dir_;
 };
+
+TEST_F(LoopbackTest, PortIsPublishedSafelyToConcurrentPollers) {
+  // Regression for an unsynchronized publish found by the thread-safety
+  // migration: start() wrote the bound port into a plain uint16_t while
+  // other threads (CLI status printers, tests) could already be polling
+  // port().  The field is atomic now; a poller must observe exactly 0 (not
+  // yet bound) or the final bound port — never a torn or stale-forever
+  // value — and must see the bound port once start() has returned.
+  service::SessionStore store{storeOptions()};
+  Server server(store, Server::Options{});
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint16_t> seen{0};
+  std::thread poller([&] {
+    while (!stop.load()) {
+      const std::uint16_t p = server.port();
+      if (p != 0) seen.store(p);
+    }
+  });
+
+  const std::uint16_t port = server.start();
+  ASSERT_NE(port, 0);
+  // The poller must converge on the bound port now that start() returned.
+  while (seen.load() != port) std::this_thread::yield();
+  stop.store(true);
+  poller.join();
+  EXPECT_EQ(seen.load(), port);
+  EXPECT_TRUE(server.shutdown(5s));
+}
 
 TEST_F(LoopbackTest, FourConcurrentClientsCompleteAndMatchDigests) {
   service::SessionStore store{storeOptions()};

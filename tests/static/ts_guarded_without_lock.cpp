@@ -1,0 +1,26 @@
+// Negative compile test: writing a GUARDED_BY field without holding its
+// mutex must be rejected by -Werror=thread-safety.  Built via try_compile
+// from tests/static/CMakeLists.txt; the build FAILING is the pass
+// condition.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    ++value_;  // BUG under analysis: mutex_ not held
+  }
+
+ private:
+  adpm::util::Mutex mutex_;
+  int value_ ADPM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return 0;
+}

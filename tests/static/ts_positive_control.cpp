@@ -1,0 +1,39 @@
+// Positive control for the negative compile tests: correct annotated code
+// that MUST build under -Werror=thread-safety.  If this file fails, the
+// harness flags (not the annotations) are broken, and the two negative
+// cases would "fail to compile" for the wrong reason.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    adpm::util::LockGuard lock(mutex_);
+    ++value_;
+  }
+
+  int get() {
+    adpm::util::LockGuard lock(mutex_);
+    return value_;
+  }
+
+  int getLocked() ADPM_REQUIRES(mutex_) { return value_; }
+
+  int getViaRequires() {
+    adpm::util::LockGuard lock(mutex_);
+    return getLocked();
+  }
+
+ private:
+  adpm::util::Mutex mutex_;
+  int value_ ADPM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.get() + c.getViaRequires();
+}

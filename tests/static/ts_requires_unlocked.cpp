@@ -1,0 +1,27 @@
+// Negative compile test: calling a REQUIRES(mutex) method without holding
+// the mutex must be rejected by -Werror=thread-safety.  Built via
+// try_compile from tests/static/CMakeLists.txt; the build FAILING is the
+// pass condition.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  int getLocked() ADPM_REQUIRES(mutex_) { return value_; }
+
+  int get() {
+    return getLocked();  // BUG under analysis: mutex_ not held
+  }
+
+ private:
+  adpm::util::Mutex mutex_;
+  int value_ ADPM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.get();
+}

@@ -180,6 +180,35 @@ TEST(Executor, DrainCoversStrandTasksPostedBeforeItStarts) {
   }
 }
 
+TEST(Executor, ConcurrentDrainersAllObserveCompletion) {
+  // Regression companion to the thread-safety-annotation migration: drain()
+  // and workerLoop() were restructured from predicate-lambda waits into
+  // explicit while loops around CondVar::wait (predicate lambdas defeat
+  // Clang's analysis — the lambda body is checked as a separate function
+  // that does not hold the caller's lock).  The rewrite must keep the
+  // many-drainers contract: every thread blocked in drain() wakes once
+  // pending work hits zero, including drainers that arrive mid-burst.
+  Executor ex(Executor::Options{.threads = 4});
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> ran{0};
+    constexpr int kTasks = 64;
+    for (int i = 0; i < kTasks; ++i) {
+      ex.post([&] { ran.fetch_add(1); });
+    }
+    constexpr int kDrainers = 4;
+    std::vector<std::thread> drainers;
+    drainers.reserve(kDrainers);
+    for (int d = 0; d < kDrainers; ++d) {
+      drainers.emplace_back([&] {
+        ex.drain();
+        // drain() returning means every counted task has finished.
+        ASSERT_EQ(ran.load(), kTasks);
+      });
+    }
+    for (std::thread& t : drainers) t.join();
+  }
+}
+
 TEST(Executor, DrainIsReusable) {
   Executor ex(Executor::Options{.threads = 2});
   std::atomic<int> ran{0};
