@@ -53,6 +53,11 @@ int usage() {
       "  --wal-dir <dir>           journal sessions to <dir>/<id>.wal\n"
       "  --recover                 rebuild sessions from --wal-dir at start\n"
       "  --salvage                 recover damaged logs by truncation\n"
+      "  --segment-ops <n>         rotate WAL segments past <n> operations\n"
+      "  --segment-bytes <n>       rotate WAL segments past <n> bytes\n"
+      "  --checkpoint-every <n>    durable state checkpoint every <n> ops\n"
+      "  --checkpoint-keep <n>     checkpoints retained by compaction "
+      "(default 2)\n"
       "  --no-open                 refuse remote Open frames\n"
       "  --command-timeout-ms <n>  queue-time deadline for remote commands\n"
       "  --drain-timeout-ms <n>    graceful-shutdown drain budget "
@@ -127,6 +132,10 @@ int main(int argc, char** argv) {
   std::string walDir;
   bool recover = false;
   bool salvage = false;
+  std::size_t segmentOps = 0;
+  std::size_t segmentBytes = 0;
+  std::size_t checkpointEvery = 0;
+  std::size_t checkpointKeep = 2;
   bool allowOpen = true;
   long commandTimeoutMs = 0;
   long drainTimeoutMs = 5000;
@@ -156,6 +165,14 @@ int main(int argc, char** argv) {
       recover = true;
     } else if (arg == "--salvage") {
       salvage = true;
+    } else if (arg == "--segment-ops") {
+      segmentOps = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--segment-bytes") {
+      segmentBytes = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--checkpoint-every") {
+      checkpointEvery = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--checkpoint-keep") {
+      checkpointKeep = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--no-open") {
       allowOpen = false;
     } else if (arg == "--command-timeout-ms") {
@@ -185,6 +202,10 @@ int main(int argc, char** argv) {
     service::SessionStore::Options storeOptions;
     storeOptions.executor.threads = threads;
     storeOptions.walDir = walDir;
+    storeOptions.session.segmentOps = segmentOps;
+    storeOptions.session.segmentBytes = segmentBytes;
+    storeOptions.session.checkpointEvery = checkpointEvery;
+    storeOptions.session.checkpointKeep = checkpointKeep;
     if (salvage) storeOptions.recovery = service::RecoveryPolicy::Salvage;
     service::SessionStore store{std::move(storeOptions)};
 
@@ -200,9 +221,24 @@ int main(int argc, char** argv) {
         if (event.sessionLost) {
           std::fprintf(stderr, "lost: %s: %s\n", event.path.c_str(),
                        event.detail.c_str());
-        } else if (event.salvaged) {
+          continue;
+        }
+        if (event.salvaged) {
           std::fprintf(stderr, "salvaged: %s: kept %zu stage(s)\n",
                        event.path.c_str(), event.keptStage);
+        }
+        if (event.checkpointUsed) {
+          std::printf(
+              "checkpoint: %s: restored seq %zu at stage %zu, replayed "
+              "%zu op(s) across %zu segment(s)\n",
+              event.path.c_str(), event.checkpointSeq, event.checkpointStage,
+              event.operationsReplayed, event.segmentsReplayed);
+        }
+        if (event.checkpointFallbacks > 0) {
+          std::fprintf(stderr,
+                       "checkpoint: %s: %zu damaged checkpoint(s) degraded "
+                       "to an older one or full replay\n",
+                       event.path.c_str(), event.checkpointFallbacks);
         }
       }
     }
@@ -217,10 +253,18 @@ int main(int argc, char** argv) {
     const std::uint16_t bound = server.start();
 
     if (!portFile.empty()) {
-      if (std::FILE* f = std::fopen(portFile.c_str(), "w")) {
-        std::fprintf(f, "%u\n", static_cast<unsigned>(bound));
-        std::fclose(f);
-      } else {
+      // Written atomically (temp + rename): a supervisor polling the file
+      // must never read a half-written port number.
+      const std::string tmp = portFile + ".tmp";
+      std::FILE* f = std::fopen(tmp.c_str(), "w");
+      bool ok = f != nullptr;
+      if (f) {
+        ok = std::fprintf(f, "%u\n", static_cast<unsigned>(bound)) > 0;
+        ok = std::fclose(f) == 0 && ok;
+      }
+      if (ok) ok = std::rename(tmp.c_str(), portFile.c_str()) == 0;
+      if (!ok) {
+        std::remove(tmp.c_str());
         std::fprintf(stderr, "cannot write --port-file %s\n",
                      portFile.c_str());
         server.kill();

@@ -66,7 +66,13 @@ int usage() {
       "                                 digests; exits 1 on divergence)\n"
       "  --id-prefix <prefix>           session id prefix for --connect\n"
       "                                 (default 'wire-'; must be unique per\n"
-      "                                 driver process)\n");
+      "                                 driver process)\n"
+      "  --max-reconnects <n>           reconnect-and-resync attempts per\n"
+      "                                 session (default 3)\n"
+      "  --reconnect-attempts <n>       connection tries per reconnect under\n"
+      "                                 capped backoff — rides out a\n"
+      "                                 supervised server restart (default "
+      "1)\n");
   return 2;
 }
 
@@ -101,6 +107,8 @@ int main(int argc, char** argv) {
   std::string faultPlan;
   std::string connect;
   std::string idPrefix = "wire-";
+  unsigned maxReconnects = 3;
+  unsigned reconnectAttempts = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -144,6 +152,11 @@ int main(int argc, char** argv) {
       connect = next();
     } else if (arg == "--id-prefix") {
       idPrefix = next();
+    } else if (arg == "--max-reconnects") {
+      maxReconnects = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--reconnect-attempts") {
+      reconnectAttempts =
+          static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
     } else {
       return usage();
     }
@@ -186,6 +199,8 @@ int main(int argc, char** argv) {
       wire.sim.seed = seed;
       wire.maxOperationsPerSession = maxOps;
       wire.idPrefix = idPrefix;
+      wire.maxReconnects = maxReconnects;
+      wire.client.reconnectAttempts = reconnectAttempts;
       // Ship the scenario as DDDL so any server accepts it, registry or not;
       // the server replies with its canonical rendering for the shadow.
       wire.dddl = dddl::write(spec);
@@ -204,6 +219,10 @@ int main(int argc, char** argv) {
           report.reconnects, report.transientRetries, report.failedSessions,
           report.digestMismatches, report.wallSeconds, report.opsPerSecond,
           report.applyRttMeanMicros);
+      if (!report.firstFailure.empty()) {
+        std::fprintf(stderr, "first failure: %s\n",
+                     report.firstFailure.c_str());
+      }
       return (report.digestMismatches == 0 && report.failedSessions == 0) ? 0
                                                                           : 1;
     }

@@ -16,6 +16,10 @@
 #     the concurrent session service; the 4-vs-1 worker ratio is the scaling
 #     claim (needs >1 hardware thread to mean anything);
 #   * BM_ServiceFleetJournaled — the same fleet with the write-ahead log on;
+#   * BM_Recovery ops:64/640 x ckpt_every:0/48 — crash-recovery wall time
+#     and ops_replayed/segments_replayed; with checkpointing on the 640-op
+#     point must stay flat relative to the 64-op one (bounded recovery),
+#     without it the cost is linear in the log length;
 #   * BM_ServiceWire clients:1/2/4 — the fleet driven over TCP (one
 #     connection + shadow per session): end-to-end ops_per_sec, mean Apply
 #     RTT, and NotificationBus downgrades under write backpressure.

@@ -141,7 +141,7 @@ DesignProcessManager::ExecResult DesignProcessManager::execute(Operation op) {
   }
 
   OperationRecord record;
-  record.stage = history_.size() + 1;
+  record.stage = stage() + 1;
   record.op = op;
 
   // Spin classification: the operation was provoked by a violation that
@@ -574,6 +574,116 @@ bool DesignProcessManager::isFailedAssignment(constraint::PropertyId p,
   return std::any_of(it->second.begin(), it->second.end(), [&](double v) {
     return std::fabs(v - value) <= tolerance;
   });
+}
+
+ManagerState DesignProcessManager::exportState() const {
+  ManagerState s;
+  s.stage = stage();
+  s.evaluations = net_.evaluationCount();
+  for (std::uint32_t i = 0; i < net_.propertyCount(); ++i) {
+    const constraint::PropertyId pid{i};
+    const constraint::Property& p = net_.property(pid);
+    if (p.bound()) s.bindings.emplace_back(pid, *p.value);
+  }
+  for (std::uint32_t i = 0; i < net_.constraintCount(); ++i) {
+    const constraint::ConstraintId cid{i};
+    if (net_.isActive(cid)) s.activeConstraints.push_back(cid);
+  }
+  s.objectVersions.reserve(objects_.size());
+  for (const DesignObject& o : objects_) s.objectVersions.push_back(o.version);
+  s.problemStatuses.reserve(problems_.size());
+  for (const DesignProblem& p : problems_) s.problemStatuses.push_back(p.status);
+  s.knownStatuses = knownStatus_;
+  s.stale = stale_;
+  s.guidanceValid = guidanceValid_;
+  if (guidanceValid_) s.guidance = guidance_;
+  s.previousGuidanceValid = previousGuidanceValid_;
+  if (previousGuidanceValid_) s.previousGuidance = previousGuidance_;
+  s.staged = staged_;
+  s.failedAssignments = failedAssignments_;
+  return s;
+}
+
+void DesignProcessManager::restoreState(const ManagerState& state) {
+  // Validate every shape before mutating anything, so a damaged checkpoint
+  // leaves the manager untouched and the caller can fall back.
+  if (state.objectVersions.size() != objects_.size() ||
+      state.problemStatuses.size() != problems_.size() ||
+      state.knownStatuses.size() != net_.constraintCount() ||
+      state.stale.size() != net_.constraintCount()) {
+    throw adpm::InvalidArgumentError(
+        "manager state shape does not match the instantiated scenario");
+  }
+  for (const auto& [pid, value] : state.bindings) {
+    (void)value;
+    if (pid.value >= net_.propertyCount()) {
+      throw adpm::InvalidArgumentError("manager state binds unknown property");
+    }
+  }
+  std::vector<bool> shouldBeActive(net_.constraintCount(), false);
+  for (constraint::ConstraintId cid : state.activeConstraints) {
+    if (cid.value >= net_.constraintCount()) {
+      throw adpm::InvalidArgumentError(
+          "manager state activates unknown constraint");
+    }
+    shouldBeActive[cid.value] = true;
+  }
+  for (std::uint32_t i = 0; i < net_.constraintCount(); ++i) {
+    // Activation is monotonic (nothing ever deactivates), so a constraint
+    // active right after instantiation cannot be inactive at a later stage.
+    if (net_.isActive(constraint::ConstraintId{i}) && !shouldBeActive[i]) {
+      throw adpm::InvalidArgumentError(
+          "manager state deactivates an init-active constraint");
+    }
+  }
+  for (const auto& [cid, trigger] : state.staged) {
+    if (cid.value >= net_.constraintCount() ||
+        trigger.value >= problems_.size()) {
+      throw adpm::InvalidArgumentError(
+          "manager state stages unknown constraint or problem");
+    }
+  }
+  for (const auto& [pid, values] : state.failedAssignments) {
+    (void)values;
+    if (pid.value >= net_.propertyCount()) {
+      throw adpm::InvalidArgumentError(
+          "manager state records failed assignments for unknown property");
+    }
+  }
+
+  std::vector<bool> shouldBeBound(net_.propertyCount(), false);
+  for (const auto& [pid, value] : state.bindings) {
+    (void)value;
+    shouldBeBound[pid.value] = true;
+  }
+  for (std::uint32_t i = 0; i < net_.propertyCount(); ++i) {
+    const constraint::PropertyId pid{i};
+    if (!shouldBeBound[i] && net_.property(pid).bound()) net_.unbind(pid);
+  }
+  for (const auto& [pid, value] : state.bindings) net_.bind(pid, value);
+  for (constraint::ConstraintId cid : state.activeConstraints) {
+    if (!net_.isActive(cid)) net_.activate(cid);
+  }
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    objects_[i].version = state.objectVersions[i];
+  }
+  for (std::size_t i = 0; i < problems_.size(); ++i) {
+    problems_[i].status = state.problemStatuses[i];
+  }
+  knownStatus_ = state.knownStatuses;
+  stale_ = state.stale;
+  guidanceValid_ = state.guidanceValid;
+  guidance_ = state.guidance;
+  previousGuidanceValid_ = state.previousGuidanceValid;
+  previousGuidance_ = state.previousGuidance;
+  staged_ = state.staged;
+  failedAssignments_ = state.failedAssignments;
+  // The counter restarts at the snapshot's total: post-restore operations
+  // charge exactly what they would have charged in the original run.
+  net_.resetEvaluationCount();
+  net_.chargeEvaluations(state.evaluations);
+  history_.clear();
+  baseStage_ = state.stage;
 }
 
 }  // namespace adpm::dpm

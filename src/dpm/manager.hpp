@@ -35,6 +35,42 @@
 
 namespace adpm::dpm {
 
+/// Value snapshot of every mutable field δ touches: what a durable
+/// checkpoint must capture so a manager restored from it replays the tail
+/// of an operation log bit-identically to a full replay.  Static model
+/// structure (objects, properties, constraints, problems) is *not* here —
+/// it is rebuilt by re-instantiating the scenario; the state only carries
+/// what operations changed since stage 0.  DCM caches are deliberately
+/// absent: they are pure memoization, so a cold-cache manager recomputes
+/// identical values (only the evaluation counter would drift, and that is
+/// restored explicitly).
+struct ManagerState {
+  /// Operations applied when the snapshot was taken.
+  std::size_t stage = 0;
+  /// Network evaluation counter at the snapshot.
+  std::size_t evaluations = 0;
+  /// (property, value) for every bound property, ascending by id.
+  std::vector<std::pair<constraint::PropertyId, double>> bindings;
+  /// Every active constraint id, ascending (activation is monotonic:
+  /// staged constraints activate, nothing ever deactivates).
+  std::vector<constraint::ConstraintId> activeConstraints;
+  /// Per-object version strings (synthesis bumps the touched objects).
+  std::vector<std::string> objectVersions;
+  std::vector<ProblemStatus> problemStatuses;
+  std::vector<constraint::Status> knownStatuses;
+  std::vector<bool> stale;
+  bool guidanceValid = false;
+  constraint::GuidanceReport guidance;
+  /// The NM diffs consecutive guidance reports, so the previous one must
+  /// survive a restore or the first post-restore operation would notify
+  /// against the wrong baseline.
+  bool previousGuidanceValid = false;
+  constraint::GuidanceReport previousGuidance;
+  /// Staged constraints not yet generated, with their trigger problems.
+  std::vector<std::pair<constraint::ConstraintId, ProblemId>> staged;
+  std::map<constraint::PropertyId, std::vector<double>> failedAssignments;
+};
+
 class DesignProcessManager {
  public:
   struct Options {
@@ -117,10 +153,15 @@ class DesignProcessManager {
   /// Applies one operation: the next-state function δ.
   ExecResult execute(Operation op);
 
-  std::size_t stage() const noexcept { return history_.size(); }
+  std::size_t stage() const noexcept { return baseStage_ + history_.size(); }
+  /// Operation records since the last restoreState (the full run when the
+  /// manager was never restored).  A restored manager's history restarts at
+  /// the checkpoint horizon — the complete record lives in the WAL segments.
   const std::vector<OperationRecord>& history() const noexcept {
     return history_;
   }
+  /// Stage the in-memory history starts at (> 0 only after restoreState).
+  std::size_t historyBaseStage() const noexcept { return baseStage_; }
 
   /// The full journaled history H_n: per-stage assignment, constraint-status
   /// and problem-status deltas with query API (see dpm/history.hpp).
@@ -172,6 +213,20 @@ class DesignProcessManager {
   bool isFailedAssignment(constraint::PropertyId p, double value,
                           double tolerance) const;
 
+  // -- checkpointing ----------------------------------------------------------
+
+  /// Captures the complete mutable state (see ManagerState).
+  ManagerState exportState() const;
+
+  /// Restores a snapshot onto a freshly instantiated manager (same scenario
+  /// script, bootstrap not required — every field it would set is
+  /// overwritten).  Shape mismatches (wrong counts, out-of-range ids, an
+  /// init-active constraint the state claims inactive) throw
+  /// InvalidArgumentError — the caller treats the checkpoint as damaged and
+  /// falls back.  After the restore, stage() == state.stage and in-memory
+  /// history restarts empty at that horizon.
+  void restoreState(const ManagerState& state);
+
  private:
   void generateStagedConstraints(OperationRecord& record);
   void applySynthesis(const Operation& op);
@@ -191,6 +246,8 @@ class DesignProcessManager {
   std::vector<DesignObject> objects_;
   std::vector<DesignProblem> problems_;
   std::vector<OperationRecord> history_;
+  /// Stage the in-memory history starts at; nonzero only after restoreState.
+  std::size_t baseStage_ = 0;
   DesignHistory designHistory_;
 
   std::vector<constraint::Status> knownStatus_;

@@ -25,6 +25,22 @@ void Client::connect() {
   shutdownSeen_ = false;
 }
 
+void Client::connectWithRetry() {
+  const unsigned attempts = std::max(1u, options_.reconnectAttempts);
+  std::chrono::milliseconds backoff = options_.reconnectBackoffBase;
+  for (unsigned attempt = 1;; ++attempt) {
+    try {
+      connect();
+      return;
+    } catch (const ConnectionError&) {
+      if (attempt >= attempts) throw;
+      ++reconnectRetries_;
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, options_.reconnectBackoffCap);
+    }
+  }
+}
+
 void Client::close() { fd_.reset(); }
 
 void Client::failConnection(const std::string& why) {

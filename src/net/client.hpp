@@ -53,6 +53,15 @@ class Client {
     std::chrono::microseconds backoffCap{50000};
     double jitter = 0.5;
     std::uint64_t jitterSeed = 0x5eed;
+    /// connectWithRetry(): total connection attempts before giving up —
+    /// rides out a supervised server restart (crash → respawn) without the
+    /// driver seeing more than latency.  1 = plain connect().
+    unsigned reconnectAttempts = 1;
+    /// Backoff before reconnect attempt k (1-based) is base·2^(k-1) capped
+    /// at `reconnectBackoffCap` (no jitter — reconnects race a restarting
+    /// listener, not each other).
+    std::chrono::milliseconds reconnectBackoffBase{50};
+    std::chrono::milliseconds reconnectBackoffCap{2000};
   };
 
   using NotificationHandler =
@@ -68,6 +77,13 @@ class Client {
   /// Connects (or reconnects — any previous socket is dropped first, and
   /// the shutdown flag resets).  Throws ConnectionError.
   void connect();
+
+  /// connect() with up to Options::reconnectAttempts tries under capped
+  /// exponential backoff; throws the *last* ConnectionError when they are
+  /// exhausted.  Reconnecting never resynchronizes state by itself — the
+  /// caller still compares a fresh snapshot() against its shadow (the
+  /// ResyncRequired dance in wire_load.cpp).
+  void connectWithRetry();
   void close();
   bool connected() const noexcept { return fd_.valid(); }
 
@@ -129,6 +145,8 @@ class Client {
 
   std::size_t transientRetries() const noexcept { return transientRetries_; }
   std::size_t notificationsReceived() const noexcept { return notifications_; }
+  /// connectWithRetry() attempts that failed before one succeeded.
+  std::size_t reconnectRetries() const noexcept { return reconnectRetries_; }
 
  private:
   util::json::Value request(FrameType type, util::json::Value body);
@@ -151,6 +169,7 @@ class Client {
   bool shutdownSeen_ = false;
   std::size_t transientRetries_ = 0;
   std::size_t notifications_ = 0;
+  std::size_t reconnectRetries_ = 0;
   util::Rng rng_;
 };
 

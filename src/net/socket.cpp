@@ -153,8 +153,15 @@ bool waitFd(int fd, bool forWrite, int timeoutMs) {
   for (;;) {
     const int rc = ::poll(&p, 1, timeoutMs);
     if (rc > 0) {
-      if (p.revents & (POLLERR | POLLNVAL)) {
-        throw ConnectionError("socket error while waiting");
+      if (p.revents & POLLNVAL) {
+        throw ConnectionError("poll() on a closed descriptor");
+      }
+      if (p.revents & POLLERR) {
+        int err = 0;
+        socklen_t len = sizeof err;
+        (void)::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        throw ConnectionError(std::string("socket error while waiting: ") +
+                              (err != 0 ? std::strerror(err) : "unknown"));
       }
       return true;  // readable, writable, or HUP (read returns Eof)
     }

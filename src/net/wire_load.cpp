@@ -16,6 +16,7 @@
 #include "teamsim/client.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace adpm::net {
 
@@ -24,6 +25,8 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 struct Totals {
+  util::Mutex mutex;
+  std::string firstFailure ADPM_GUARDED_BY(mutex);
   std::atomic<std::size_t> completed{0};
   std::atomic<std::size_t> operations{0};
   std::atomic<std::size_t> notifications{0};
@@ -84,7 +87,7 @@ void driveSession(const WireLoadOptions& options, std::size_t index,
 
   ShadowSession shadow;
   try {
-    client.connect();
+    client.connectWithRetry();
     const Client::OpenResult open =
         options.dddl.empty()
             ? client.openScenario(id, options.scenario, sim.adpm)
@@ -94,6 +97,33 @@ void driveSession(const WireLoadOptions& options, std::size_t index,
 
     std::size_t ops = 0;
     unsigned reconnectsLeft = options.maxReconnects;
+    // Reconnect and resync in one guarded step: dial with capped backoff,
+    // re-establish the push stream, and fetch the authoritative snapshot.
+    // A connection that dies anywhere in that sequence spends one unit of
+    // budget and starts over rather than failing the session: right after
+    // a server crash the kernel can hand out connections the dying
+    // listener had completed into its backlog — they look established and
+    // reset on first use.
+    const auto reconnect = [&]() -> service::SessionSnapshot {
+      for (;;) {
+        if (reconnectsLeft == 0) {
+          throw ConnectionError("reconnect budget spent");
+        }
+        --reconnectsLeft;
+        totals.reconnects.fetch_add(1, std::memory_order_relaxed);
+        try {
+          client.connectWithRetry();
+        } catch (const std::exception& e) {
+          throw ConnectionError(std::string("reconnect failed: ") + e.what());
+        }
+        try {
+          if (options.subscribe) subscribeSeats(client, id, shadow.spec);
+          return client.snapshot(id, false);
+        } catch (const ConnectionError&) {
+          // stillborn connection or the server died again; spend another
+        }
+      }
+    };
     while (ops < options.maxOperationsPerSession &&
            !client.serverShuttingDown()) {
       std::optional<dpm::Operation> op = shadow.team->propose(*shadow.dpm);
@@ -114,12 +144,7 @@ void driveSession(const WireLoadOptions& options, std::size_t index,
               std::memory_order_relaxed);
           applied = true;
         } catch (const ConnectionError&) {
-          if (reconnectsLeft == 0) throw;
-          --reconnectsLeft;
-          totals.reconnects.fetch_add(1, std::memory_order_relaxed);
-          client.connect();
-          if (options.subscribe) subscribeSeats(client, id, shadow.spec);
-          const service::SessionSnapshot snap = client.snapshot(id, false);
+          const service::SessionSnapshot snap = reconnect();
           if (snap.stage == shadow.dpm->stage() + 1) {
             applied = true;  // the in-flight apply committed server-side
           } else if (snap.stage != shadow.dpm->stage()) {
@@ -135,7 +160,16 @@ void driveSession(const WireLoadOptions& options, std::size_t index,
           shadow.dpm->execute(std::move(*op));
       shadow.team->observe(*shadow.dpm, local.record);
       ++ops;
-      if (options.subscribe) client.pump(0);
+      if (options.subscribe) {
+        try {
+          client.pump(0);
+        } catch (const ConnectionError&) {
+          // The last apply was acknowledged, so nothing is in flight —
+          // the server journaled it before acking and its recovery will
+          // reach the shadow's stage; just re-establish the stream.
+          (void)reconnect();
+        }
+      }
     }
 
     totals.operations.fetch_add(ops, std::memory_order_relaxed);
@@ -144,16 +178,31 @@ void driveSession(const WireLoadOptions& options, std::size_t index,
     }
 
     if (options.verifyDigests) {
-      const service::SessionSnapshot snap = client.snapshot(id, false);
+      service::SessionSnapshot snap;
+      try {
+        snap = client.snapshot(id, false);
+      } catch (const ConnectionError&) {
+        snap = reconnect();
+      }
       const std::string localDigest =
           util::fnv1a64Hex(service::snapshotText(*shadow.dpm));
       if (snap.digest != localDigest || snap.stage != shadow.dpm->stage()) {
         totals.digestMismatches.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    if (options.subscribe) client.pump(0);
-  } catch (const std::exception&) {
+    if (options.subscribe) {
+      try {
+        client.pump(0);
+      } catch (const ConnectionError&) {
+        // Push-stream teardown after the work is done costs counters only.
+      }
+    }
+  } catch (const std::exception& e) {
     totals.failed.fetch_add(1, std::memory_order_relaxed);
+    util::LockGuard lock(totals.mutex);
+    if (totals.firstFailure.empty()) {
+      totals.firstFailure = "session '" + id + "': " + e.what();
+    }
   }
   totals.transientRetries.fetch_add(client.transientRetries(),
                                     std::memory_order_relaxed);
@@ -185,6 +234,10 @@ WireLoadReport runWireLoad(const WireLoadOptions& options) {
   report.reconnects = totals.reconnects.load();
   report.transientRetries = totals.transientRetries.load();
   report.failedSessions = totals.failed.load();
+  {
+    util::LockGuard lock(totals.mutex);
+    report.firstFailure = totals.firstFailure;
+  }
   report.wallSeconds = std::chrono::duration<double>(stop - start).count();
   if (report.wallSeconds > 0.0) {
     report.opsPerSecond =

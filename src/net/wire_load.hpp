@@ -67,6 +67,9 @@ struct WireLoadReport {
   std::size_t reconnects = 0;
   std::size_t transientRetries = 0;
   std::size_t failedSessions = 0;  ///< gave up (connection/protocol errors)
+  /// why the first failed session gave up — one sample beats a bare count
+  /// when a fleet fails far from a debugger (CI drills, chaos runs)
+  std::string firstFailure;
   double wallSeconds = 0.0;
   double opsPerSecond = 0.0;
   /// Mean request/response round trip of the Apply frames.

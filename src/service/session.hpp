@@ -38,7 +38,8 @@ struct SessionSnapshot {
   std::string digest;
 };
 
-/// What RecoveryPolicy::Salvage had to give up to reopen a session.
+/// What RecoveryPolicy::Salvage had to give up to reopen a session, plus
+/// checkpoint accounting (filled under either policy).
 struct SalvageOutcome {
   /// True when anything was dropped or truncated (tail trim or rollback).
   bool salvaged = false;
@@ -51,6 +52,21 @@ struct SalvageOutcome {
   std::size_t droppedBytes = 0;
   /// The structural error or digest divergence that forced the salvage.
   std::string reason;
+
+  // -- bounded-recovery accounting --------------------------------------------
+  /// Recovery restored a checkpoint instead of replaying from stage 0.
+  bool checkpointUsed = false;
+  /// Sequence and stage of the restored checkpoint (when checkpointUsed).
+  std::size_t checkpointSeq = 0;
+  std::size_t checkpointStage = 0;
+  /// Checkpoints that existed but could not be trusted (torn, bit-flipped,
+  /// digest mismatch against the rebuilt state) — each one degraded to an
+  /// older checkpoint or, ultimately, full-segment replay.
+  std::size_t checkpointFallbacks = 0;
+  /// Segments whose operations were (partially) replayed.
+  std::size_t segmentsReplayed = 0;
+  /// Operations actually re-executed to rebuild the session.
+  std::size_t operationsReplayed = 0;
 };
 
 class Session {
@@ -63,6 +79,19 @@ class Session {
     /// crash / power loss) at one fsync per operation.  Off = flush-only,
     /// which survives a process crash but not the machine dying.
     bool walSync = false;
+    /// Rotate the WAL to a fresh segment past this size (0 = one segment
+    /// forever — the pre-segmentation layout).
+    std::size_t segmentBytes = 0;
+    /// Rotate past this many operations per segment (0 = never by count).
+    std::size_t segmentOps = 0;
+    /// Write a durable state checkpoint every N operations (0 = never);
+    /// recovery then replays only the ops past the newest intact
+    /// checkpoint.  A failed checkpoint never fails the operation that
+    /// triggered it — checkpoints are an optimization, not a dependency.
+    std::size_t checkpointEvery = 0;
+    /// Checkpoints retained by compaction (min 1; default 2 so a corrupt
+    /// newest checkpoint still recovers boundedly from the runner-up).
+    std::size_t checkpointKeep = 2;
   };
 
   /// Builds the session from its config: parses nothing — the caller
@@ -71,9 +100,9 @@ class Session {
   /// (Two overloads, not `Options options = {}`: GCC rejects brace-init
   /// defaults of a nested aggregate inside the incomplete enclosing class.)
   Session(SessionConfig config, const dpm::ScenarioSpec& spec,
-          std::unique_ptr<OperationLog> log);
+          std::unique_ptr<SegmentedLog> log);
   Session(SessionConfig config, const dpm::ScenarioSpec& spec,
-          std::unique_ptr<OperationLog> log, Options options);
+          std::unique_ptr<SegmentedLog> log, Options options);
 
   /// Seals the log: a journaled session appends one final snapshot mark on
   /// teardown (unless the current stage already carries one), so every WAL
@@ -116,7 +145,18 @@ class Session {
   };
   VerifyResult verify();
 
-  const OperationLog* log() const noexcept { return log_.get(); }
+  const SegmentedLog* log() const noexcept { return log_.get(); }
+
+  /// Writes a durable state checkpoint at the current stage (no-op without
+  /// a log).  Called automatically every `checkpointEvery` operations;
+  /// exposed for drivers that checkpoint at their own boundaries.  Throws
+  /// what the WAL layer throws — the periodic path catches and counts.
+  void checkpointNow();
+
+  /// Periodic checkpoints that failed (and were absorbed) since creation.
+  std::size_t checkpointFailures() const noexcept {
+    return checkpointFailures_;
+  }
 
  private:
   friend std::unique_ptr<Session> recoverSession(const std::string& logPath,
@@ -126,7 +166,7 @@ class Session {
 
   /// Attaches the (already positioned) log a recovered session continues
   /// appending to; recovery only, after the replay is complete.
-  void attachLog(std::unique_ptr<OperationLog> log) { log_ = std::move(log); }
+  void attachLog(std::unique_ptr<SegmentedLog> log) { log_ = std::move(log); }
 
   dpm::DesignProcessManager::ExecResult applyImpl(dpm::Operation op,
                                                   bool journal);
@@ -134,29 +174,36 @@ class Session {
   SessionConfig config_;
   Options options_;
   std::unique_ptr<dpm::DesignProcessManager> dpm_;
-  std::unique_ptr<OperationLog> log_;
+  std::unique_ptr<SegmentedLog> log_;
   NotificationSink sink_;
   /// Stage of the most recent mark in the log (0 = none yet); suppresses
   /// duplicate seal marks across recover/teardown cycles.
   std::size_t lastMarkStage_ = 0;
+  std::size_t checkpointFailures_ = 0;
 };
 
 /// The canonical snapshot text for any manager (exposed for tests and the
 /// replay validator).
 std::string snapshotText(const dpm::DesignProcessManager& dpm);
 
-/// Rebuilds a session from its operation log: parses the embedded DDDL,
-/// replays every operation, and re-derives + checks every snapshot mark.
-/// The returned session keeps appending to the same log file.
+/// Rebuilds a session from its on-disk log chain (`logPath` is the seq-0
+/// segment path, `<dir>/<id>.wal`): restores the newest intact checkpoint
+/// (if any), replays the tail segments past it, and re-derives + checks
+/// every snapshot mark along the way.  The returned session keeps
+/// appending to the chain.  Recovery cost is O(work since the last
+/// checkpoint), not O(session lifetime).
 ///
-/// Under RecoveryPolicy::Strict (default) throws adpm::Error on divergence
-/// (digest mismatch) or malformed logs.  Under Salvage, damage behind the
-/// header is repaired instead of fatal: a torn/corrupt tail is trimmed to
-/// the last intact record, and a digest divergence rolls the session back
-/// to the last record whose replay matched a snapshot mark — the log file
-/// is truncated to match, the session reopens there, and `outcome` (when
-/// non-null) reports exactly what was dropped.  A missing/corrupt header
-/// still throws: with no trustworthy scenario there is nothing to salvage.
+/// Checkpoints degrade, never fail, under *either* policy: a torn,
+/// bit-flipped, missing, or digest-divergent checkpoint falls back to the
+/// previous checkpoint and ultimately to full-segment replay (possible
+/// whenever segment 0 survives); `outcome->checkpointFallbacks` counts the
+/// demotions.  Segment damage keeps the PR-5 semantics: Strict throws on
+/// any structural problem or divergence; Salvage trims a torn tail, stops
+/// the chain at a damaged middle segment (dropping later segments), and
+/// rolls a digest divergence back to the last verified mark — mutating the
+/// files to match what was kept.  A session whose *entire* chain is
+/// unusable (no intact checkpoint and no segment starting at stage 0)
+/// still throws: there is nothing to rebuild from.
 std::unique_ptr<Session> recoverSession(
     const std::string& logPath, Session::Options options = {},
     RecoveryPolicy policy = RecoveryPolicy::Strict,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <set>
 #include <thread>
 
 #include "dddl/writer.hpp"
@@ -71,19 +72,24 @@ void SessionStore::open(const std::string& id, const dpm::ScenarioSpec& spec,
   if (sessions_.contains(id)) {
     throw adpm::InvalidArgumentError("session '" + id + "' already open");
   }
-  std::unique_ptr<OperationLog> log;
+  std::unique_ptr<SegmentedLog> log;
   if (!options_.walDir.empty()) {
     const std::string path = walPathOf(id);
-    if (std::filesystem::exists(path)) {
+    const SessionFiles existing = listSessionFiles(path);
+    if (!existing.segments.empty() || !existing.checkpoints.empty()) {
       // close() keeps WALs and crashes leave them; a fresh open() always
-      // writes a fresh header, so appending to a leftover log would corrupt
-      // it.  The caller decides: recover() the log or remove the file.
+      // writes a fresh header, so appending to a leftover chain would
+      // corrupt it.  The caller decides: recover() the session or remove
+      // its files (segments *and* checkpoints) first.
       throw adpm::InvalidArgumentError(
-          "session '" + id + "' has an existing operation log at '" + path +
-          "'; recover() it or remove the file before reopening the id");
+          "session '" + id + "' has existing log/checkpoint files at '" +
+          path + "'; recover() it or remove them before reopening the id");
     }
-    log = std::make_unique<OperationLog>(path, options_.session.walSync);
-    log->appendOpen(config);
+    SegmentedLog::Options logOptions;
+    logOptions.sync = options_.session.walSync;
+    logOptions.segmentBytes = options_.session.segmentBytes;
+    logOptions.segmentOps = options_.session.segmentOps;
+    log = std::make_unique<SegmentedLog>(path, config, logOptions);
   }
   adoptLocked(id, std::make_unique<Session>(std::move(config), spec,
                                             std::move(log), options_.session));
@@ -93,54 +99,78 @@ std::vector<std::string> SessionStore::recover() {
   std::vector<std::string> recovered;
   std::vector<std::string> errors;
   std::vector<RecoveryEvent> events;
-  if (options_.walDir.empty()) {
+  {
+    // Each call owns the whole report: a second recover() must not stack
+    // its outcome on top of the first one's.
     util::LockGuard lock(mutex_);
     recoverErrors_.clear();
     recoverEvents_.clear();
-    return recovered;
   }
+  if (options_.walDir.empty()) return recovered;
 
-  std::vector<std::filesystem::path> logs;
-  for (const auto& entry :
-       std::filesystem::directory_iterator(options_.walDir)) {
-    if (entry.is_regular_file() && entry.path().extension() == ".wal") {
-      logs.push_back(entry.path());
+  // Discover session ids from every chain file (segments *and*
+  // checkpoints): a session whose seq-0 segment was compacted away is
+  // still recoverable from its newest checkpoint plus tail segments.
+  std::set<std::string> idsOnDisk;  // deterministic recovery order
+  {
+    std::error_code ec;
+    std::filesystem::directory_iterator dir(options_.walDir, ec);
+    if (!ec) {
+      for (const auto& entry : dir) {
+        if (!entry.is_regular_file()) continue;
+        const std::optional<WalFileName> parsed =
+            parseWalFileName(entry.path().filename().string());
+        if (parsed) idsOnDisk.insert(parsed->sessionId);
+      }
     }
   }
-  std::sort(logs.begin(), logs.end());  // deterministic recovery order
 
-  for (const std::filesystem::path& path : logs) {
-    // One bad log (corrupt, diverged, id raced in) must not abort recovery
-    // of the remaining files; it is skipped and reported instead.
+  for (const std::string& id : idsOnDisk) {
+    const std::string path = walPathOf(id);
+    {
+      // Skip live sessions *before* touching their files: re-replaying the
+      // chain under a live session would re-report (and under Salvage
+      // re-mutate) a log that is actively being appended to.
+      util::LockGuard lock(mutex_);
+      if (sessions_.contains(id)) continue;
+    }
+    // One bad session (corrupt, diverged, id raced in) must not abort
+    // recovery of the remaining ones; it is skipped and reported instead.
     try {
       if (ADPM_FAULT_POINT("store.recover") != util::FaultAction::None) {
         throw adpm::FaultInjectedError("injected failure recovering '" +
-                                       path.string() + "'");
+                                       path + "'");
       }
       SalvageOutcome salvage;
       std::unique_ptr<Session> session = recoverSession(
-          path.string(), options_.session, options_.recovery, &salvage);
-      std::string id = session->id();
+          path, options_.session, options_.recovery, &salvage);
       {
         util::LockGuard lock(mutex_);
-        if (sessions_.contains(id)) continue;  // already live, skip the log
+        if (sessions_.contains(id)) continue;  // open(id) raced in
         adoptLocked(id, std::move(session));
       }
-      recovered.push_back(std::move(id));
-      if (salvage.salvaged) {
+      recovered.push_back(id);
+      if (salvage.salvaged || salvage.checkpointFallbacks > 0 ||
+          salvage.checkpointUsed) {
         RecoveryEvent event;
-        event.path = path.string();
+        event.path = path;
         event.detail = salvage.reason;
-        event.salvaged = true;
+        event.salvaged = salvage.salvaged;
         event.keptStage = salvage.keptStage;
         event.droppedOperations = salvage.droppedOperations;
         event.droppedBytes = salvage.droppedBytes;
+        event.checkpointUsed = salvage.checkpointUsed;
+        event.checkpointSeq = salvage.checkpointSeq;
+        event.checkpointStage = salvage.checkpointStage;
+        event.checkpointFallbacks = salvage.checkpointFallbacks;
+        event.segmentsReplayed = salvage.segmentsReplayed;
+        event.operationsReplayed = salvage.operationsReplayed;
         events.push_back(std::move(event));
       }
     } catch (const adpm::Error& e) {
-      errors.push_back(path.string() + ": " + e.what());
+      errors.push_back(path + ": " + e.what());
       RecoveryEvent event;
-      event.path = path.string();
+      event.path = path;
       event.detail = e.what();
       event.sessionLost = true;
       events.push_back(std::move(event));

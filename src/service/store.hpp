@@ -77,6 +77,14 @@ struct RecoveryEvent {
   std::size_t keptStage = 0;
   std::size_t droppedOperations = 0;
   std::size_t droppedBytes = 0;
+  /// Recovery restored a checkpoint and replayed only the tail segments.
+  bool checkpointUsed = false;
+  std::size_t checkpointSeq = 0;
+  std::size_t checkpointStage = 0;
+  /// Damaged checkpoints that degraded to an older one / full replay.
+  std::size_t checkpointFallbacks = 0;
+  std::size_t segmentsReplayed = 0;
+  std::size_t operationsReplayed = 0;
 };
 
 class SessionStore {
@@ -110,11 +118,15 @@ class SessionStore {
   /// remove the file first).
   void open(const std::string& id, const dpm::ScenarioSpec& spec, bool adpm);
 
-  /// Rebuilds every "*.wal" session found in walDir (replaying operation
-  /// logs, checking snapshot digests).  Returns the recovered ids.  A log
-  /// that fails to replay (corrupt, diverged, duplicate id raced in) is
-  /// skipped — recovery of the remaining logs continues — and reported via
-  /// recoverErrors().
+  /// Rebuilds every session found in walDir — discovered from any of its
+  /// chain files (`<id>.wal`, `<id>.wal.<N>`, `<id>.ckpt.<N>`), so a
+  /// session whose seq-0 segment was compacted away still recovers from
+  /// its newest checkpoint plus tail segments.  Returns the recovered ids.
+  /// A session that fails to rebuild is skipped — recovery of the rest
+  /// continues — and reported via recoverErrors().  Sessions already live
+  /// in the store are skipped *before* any replay, and each call clears
+  /// the previous call's errors/report: calling recover() twice never
+  /// double-replays or double-reports.
   std::vector<std::string> recover();
 
   /// "<path>: <reason>" for every log the most recent recover() skipped.

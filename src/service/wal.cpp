@@ -1,5 +1,6 @@
 #include "service/wal.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
@@ -154,7 +155,8 @@ void OperationLog::appendRecord(const std::string& base) {
   appendLine(line);
 }
 
-void OperationLog::appendOpen(const SessionConfig& config) {
+void OperationLog::appendOpen(const SessionConfig& config, std::size_t seq,
+                              std::size_t startStage) {
   util::json::Value v{util::json::Object{}};
   v.set("t", "open");
   v.set("v", kVersion);
@@ -162,6 +164,10 @@ void OperationLog::appendOpen(const SessionConfig& config) {
   v.set("adpm", config.adpm);
   v.set("scenario", config.scenarioName);
   v.set("dddl", config.scenarioDddl);
+  // Written only when nonzero, so a seq-0 header stays byte-identical to
+  // logs written before segmentation existed.
+  if (seq != 0) v.set("seq", seq);
+  if (startStage != 0) v.set("stage", startStage);
   appendRecord(util::json::serialize(v));
 }
 
@@ -264,6 +270,13 @@ OperationLog::Replay OperationLog::read(const std::string& path,
           replay.config.adpm = v.at("adpm").asBool();
           replay.config.scenarioName = v.at("scenario").asString();
           replay.config.scenarioDddl = v.at("dddl").asString();
+          if (const util::json::Value* seq = v.find("seq")) {
+            replay.segmentSeq = static_cast<std::size_t>(seq->asNumber());
+          }
+          if (const util::json::Value* stage = v.find("stage")) {
+            replay.segmentStartStage =
+                static_cast<std::size_t>(stage->asNumber());
+          }
         } catch (const adpm::Error& e) {
           throw adpm::Error("operation log '" + path + "' has a malformed "
                             "header: " + e.what());
@@ -321,6 +334,365 @@ OperationLog::Replay OperationLog::read(const std::string& path,
     throw adpm::Error("operation log '" + path + "' has no header");
   }
   return replay;
+}
+
+// -- segment / checkpoint file layout -----------------------------------------
+
+std::string segmentPath(const std::string& basePath, std::size_t seq) {
+  if (seq == 0) return basePath;
+  return basePath + "." + std::to_string(seq);
+}
+
+std::string checkpointPath(const std::string& basePath, std::size_t seq) {
+  std::string stem = basePath;
+  if (stem.size() > 4 && stem.ends_with(".wal")) {
+    stem.resize(stem.size() - 4);
+  }
+  return stem + ".ckpt." + std::to_string(seq);
+}
+
+std::optional<WalFileName> parseWalFileName(const std::string& filename) {
+  if (filename.ends_with(".tmp")) return std::nullopt;
+  if (filename.size() > 4 && filename.ends_with(".wal")) {
+    WalFileName out;
+    out.sessionId = filename.substr(0, filename.size() - 4);
+    return out;
+  }
+  const std::size_t lastDot = filename.rfind('.');
+  if (lastDot == std::string::npos || lastDot + 1 >= filename.size()) {
+    return std::nullopt;
+  }
+  std::size_t seq = 0;
+  for (std::size_t i = lastDot + 1; i < filename.size(); ++i) {
+    const char c = filename[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<std::size_t>(c - '0');
+  }
+  const std::string head = filename.substr(0, lastDot);
+  WalFileName out;
+  out.seq = seq;
+  if (head.size() > 4 && head.ends_with(".wal")) {
+    if (seq == 0) return std::nullopt;  // segment 0 lives at "<id>.wal"
+    out.sessionId = head.substr(0, head.size() - 4);
+    return out;
+  }
+  if (head.size() > 5 && head.ends_with(".ckpt")) {
+    out.sessionId = head.substr(0, head.size() - 5);
+    out.isCheckpoint = true;
+    return out;
+  }
+  return std::nullopt;
+}
+
+SessionFiles listSessionFiles(const std::string& basePath) {
+  namespace fs = std::filesystem;
+  const fs::path base(basePath);
+  std::string id = base.filename().string();
+  if (id.size() > 4 && id.ends_with(".wal")) id.resize(id.size() - 4);
+  fs::path dir = base.parent_path();
+  if (dir.empty()) dir = ".";
+
+  SessionFiles out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::optional<WalFileName> parsed =
+        parseWalFileName(entry.path().filename().string());
+    if (!parsed || parsed->sessionId != id) continue;
+    SegmentRef ref;
+    ref.seq = parsed->seq;
+    ref.path = entry.path().string();
+    (parsed->isCheckpoint ? out.checkpoints : out.segments)
+        .push_back(std::move(ref));
+  }
+  const auto bySeq = [](const SegmentRef& a, const SegmentRef& b) {
+    return a.seq < b.seq;
+  };
+  std::sort(out.segments.begin(), out.segments.end(), bySeq);
+  std::sort(out.checkpoints.begin(), out.checkpoints.end(), bySeq);
+  return out;
+}
+
+void writeCheckpoint(const std::string& basePath, const Checkpoint& ckpt,
+                     bool sync) {
+  util::json::Value v{util::json::Object{}};
+  v.set("t", "ckpt");
+  v.set("v", Checkpoint::kVersion);
+  v.set("session", ckpt.config.id);
+  v.set("adpm", ckpt.config.adpm);
+  v.set("scenario", ckpt.config.scenarioName);
+  v.set("dddl", ckpt.config.scenarioDddl);
+  v.set("seq", ckpt.seq);
+  v.set("stage", ckpt.stage);
+  v.set("walSeq", ckpt.walSeq);
+  v.set("digest", ckpt.digest);
+  v.set("state", ckpt.state);
+  const std::string base = util::json::serialize(v);
+  std::string line = base.substr(0, base.size() - 1);
+  line += ",\"crc\":\"";
+  line += util::fnv1a64Hex(base);
+  line += "\"}\n";
+
+  const std::string path = checkpointPath(basePath, ckpt.seq);
+  const std::string tmp = path + ".tmp";
+  const auto discardTmp = [&tmp] {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+  };
+
+  switch (ADPM_FAULT_POINT("ckpt.write")) {
+    case util::FaultAction::Error:
+      throw adpm::TransientError("injected failure writing checkpoint '" +
+                                 path + "'");
+    case util::FaultAction::ShortWrite: {
+      // Persist a prefix of the staging file and give up — the torn temp a
+      // real crash mid-write leaves.  Recovery never reads *.tmp, so the
+      // litter is harmless; it is left behind deliberately so torture tests
+      // see exactly what a crash produces.
+      std::FILE* torn = std::fopen(tmp.c_str(), "w");
+      if (torn != nullptr) {
+        std::fwrite(line.data(), 1, line.size() / 2 + 1, torn);
+        std::fclose(torn);
+      }
+      throw adpm::TransientError("injected short write tore checkpoint temp '" +
+                                 tmp + "'");
+    }
+    default:
+      break;
+  }
+
+  std::FILE* out = std::fopen(tmp.c_str(), "w");
+  if (out == nullptr) {
+    throw adpm::TransientError("cannot create checkpoint temp '" + tmp + "'");
+  }
+  bool ok = std::fwrite(line.data(), 1, line.size(), out) == line.size() &&
+            std::fflush(out) == 0;
+#if ADPM_WAL_POSIX
+  // The rename must only ever install fully-durable bytes: fsync the temp
+  // *before* the rename regardless of `sync` — a checkpoint that might be
+  // garbage after a power cut is worse than none (recovery would fall back
+  // anyway, but only after paying to parse it).
+  ok = ok && ::fsync(::fileno(out)) == 0;
+#endif
+  ok = std::fclose(out) == 0 && ok;
+  if (!ok) {
+    discardTmp();
+    throw adpm::TransientError("write failed for checkpoint temp '" + tmp +
+                               "'");
+  }
+
+  if (ADPM_FAULT_POINT("ckpt.rename") != util::FaultAction::None) {
+    // Crash-equivalent instant: the temp is durable but never installed.
+    // Undo it here (an injected *error* is recoverable, unlike an abort).
+    discardTmp();
+    throw adpm::TransientError("injected failure installing checkpoint '" +
+                               path + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    discardTmp();
+    throw adpm::TransientError("cannot install checkpoint '" + path +
+                               "': " + ec.message());
+  }
+#if ADPM_WAL_POSIX
+  // The new *name* lives in the directory inode (same discipline as WAL
+  // segment creation, gated on the same knob).
+  if (sync) fsyncParentDir(path);
+#else
+  (void)sync;
+#endif
+}
+
+Checkpoint readCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw adpm::Error("cannot read checkpoint '" + path + "'");
+  }
+  std::string content{std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>()};
+  // The trailing newline lands last; a file without one is torn by
+  // definition, exactly like a WAL record.
+  if (content.empty() || content.back() != '\n') {
+    throw adpm::Error("checkpoint '" + path + "' is torn");
+  }
+  content.pop_back();
+  if (content.find('\n') != std::string::npos) {
+    throw adpm::Error("checkpoint '" + path + "' has trailing garbage");
+  }
+
+  util::json::Value v;
+  try {
+    v = util::json::parse(content);
+  } catch (const adpm::Error& e) {
+    throw adpm::Error("checkpoint '" + path + "': " + e.what());
+  }
+  const util::json::Value* crc = v.find("crc");
+  if (crc == nullptr || crc->kind() != util::json::Kind::String) {
+    throw adpm::Error("checkpoint '" + path + "' has no crc");
+  }
+  util::json::Object stripped;
+  for (const auto& [key, member] : v.asObject()) {
+    if (key != "crc") stripped.emplace_back(key, member);
+  }
+  const std::string base =
+      util::json::serialize(util::json::Value{std::move(stripped)});
+  if (util::fnv1a64Hex(base) != crc->asString()) {
+    throw adpm::Error("checkpoint '" + path +
+                      "': checksum mismatch (file is corrupt)");
+  }
+
+  try {
+    if (v.at("t").asString() != "ckpt") {
+      throw adpm::Error("not a checkpoint record");
+    }
+    const int version = static_cast<int>(v.at("v").asNumber());
+    if (version != Checkpoint::kVersion) {
+      throw adpm::Error("unsupported checkpoint version " +
+                        std::to_string(version));
+    }
+    Checkpoint ckpt;
+    ckpt.config.id = v.at("session").asString();
+    ckpt.config.adpm = v.at("adpm").asBool();
+    ckpt.config.scenarioName = v.at("scenario").asString();
+    ckpt.config.scenarioDddl = v.at("dddl").asString();
+    ckpt.seq = static_cast<std::size_t>(v.at("seq").asNumber());
+    ckpt.stage = static_cast<std::size_t>(v.at("stage").asNumber());
+    ckpt.walSeq = static_cast<std::size_t>(v.at("walSeq").asNumber());
+    ckpt.digest = v.at("digest").asString();
+    ckpt.state = v.at("state");
+    return ckpt;
+  } catch (const adpm::Error& e) {
+    throw adpm::Error("checkpoint '" + path + "' is malformed: " + e.what());
+  }
+}
+
+// -- SegmentedLog -------------------------------------------------------------
+
+SegmentedLog::SegmentedLog(std::string basePath, SessionConfig config,
+                           Options options)
+    : basePath_(std::move(basePath)),
+      config_(std::move(config)),
+      options_(options) {
+  current_ = std::make_unique<OperationLog>(segmentPath(basePath_, 0),
+                                            options_.sync);
+  current_->appendOpen(config_);
+}
+
+SegmentedLog::SegmentedLog(std::string basePath, SessionConfig config,
+                           Options options, const AttachSpec& attach)
+    : basePath_(std::move(basePath)),
+      config_(std::move(config)),
+      options_(options),
+      seq_(attach.walSeq),
+      nextCheckpointSeq_(attach.nextCheckpointSeq) {
+  for (const Checkpoint& ckpt : attach.checkpoints) {
+    checkpoints_.emplace_back(ckpt.seq, ckpt.walSeq);
+  }
+  if (attach.startFresh) {
+    startStage_ = attach.startStage;
+    current_ = std::make_unique<OperationLog>(segmentPath(basePath_, seq_),
+                                              options_.sync);
+    current_->appendOpen(config_, seq_, startStage_);
+  } else {
+    startStage_ = attach.opsBefore;
+    opsInSegment_ = attach.opsInSegment;
+    // No header: the recovered session continues the existing segment.
+    current_ = std::make_unique<OperationLog>(segmentPath(basePath_, seq_),
+                                              options_.sync);
+  }
+}
+
+void SegmentedLog::rotate() {
+  if (ADPM_FAULT_POINT("wal.rotate") != util::FaultAction::None) {
+    throw adpm::TransientError("injected failure rotating log '" + basePath_ +
+                               "' past segment " + std::to_string(seq_));
+  }
+  const std::size_t nextSeq = seq_ + 1;
+  const std::size_t nextStart = startStage_ + opsInSegment_;
+  const std::string path = segmentPath(basePath_, nextSeq);
+  auto fresh = std::make_unique<OperationLog>(path, options_.sync);
+  try {
+    fresh->appendOpen(config_, nextSeq, nextStart);
+  } catch (...) {
+    // The half-born segment must not survive: a file with a torn header
+    // would end the recovery chain right here.  The old segment is still
+    // the append target, so the failure is transient.
+    fresh.reset();
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    throw;
+  }
+  current_ = std::move(fresh);
+  seq_ = nextSeq;
+  startStage_ = nextStart;
+  opsInSegment_ = 0;
+  ++rotations_;
+}
+
+void SegmentedLog::appendOperation(const dpm::Operation& op) {
+  const bool fullByOps =
+      options_.segmentOps > 0 && opsInSegment_ >= options_.segmentOps;
+  const bool fullByBytes = options_.segmentBytes > 0 && opsInSegment_ > 0 &&
+                           current_->tailOffset() >= options_.segmentBytes;
+  if (fullByOps || fullByBytes) rotate();
+  current_->appendOperation(op);
+  ++opsInSegment_;
+}
+
+void SegmentedLog::appendMark(std::size_t stage, const std::string& digest) {
+  current_->appendMark(stage, digest);
+}
+
+void SegmentedLog::writeCheckpoint(util::json::Value state, std::size_t stage,
+                                   const std::string& digest,
+                                   std::size_t keep) {
+  // Rotate first so the checkpoint's walSeq names a segment starting
+  // exactly at `stage` — tail replay resumes at its first record.
+  if (opsInSegment_ > 0) rotate();
+  Checkpoint ckpt;
+  ckpt.config = config_;
+  ckpt.seq = nextCheckpointSeq_;
+  ckpt.stage = stage;
+  ckpt.walSeq = seq_;
+  ckpt.state = std::move(state);
+  ckpt.digest = digest;
+  service::writeCheckpoint(basePath_, ckpt, options_.sync);
+  ++nextCheckpointSeq_;
+  ++checkpointsWritten_;
+  checkpoints_.emplace_back(ckpt.seq, ckpt.walSeq);
+  compact(keep);
+}
+
+void SegmentedLog::compact(std::size_t keep) {
+  if (keep == 0) keep = 1;  // at least one checkpoint always survives
+  if (checkpoints_.empty()) return;
+  if (ADPM_FAULT_POINT("wal.compact") != util::FaultAction::None) {
+    throw adpm::TransientError("injected failure compacting log '" +
+                               basePath_ + "'");
+  }
+  while (checkpoints_.size() > keep) {
+    std::error_code ec;
+    std::filesystem::remove(checkpointPath(basePath_, checkpoints_.front().first),
+                            ec);
+    // Deletion failure degrades: the stale file costs disk, not correctness.
+    checkpoints_.erase(checkpoints_.begin());
+  }
+  // Segments are deleted only once the full complement of `keep`
+  // checkpoints is durable: with fewer, the fallback chain still ends in a
+  // full replay, which needs every segment back to seq 0.
+  if (checkpoints_.size() < keep) return;
+  // Every retained checkpoint must keep its tail replayable, so only
+  // segments older than the *oldest* retained checkpoint's walSeq go.
+  std::size_t floor = checkpoints_.front().second;
+  for (const auto& [seq, walSeq] : checkpoints_) {
+    floor = std::min(floor, walSeq);
+  }
+  for (const SegmentRef& seg : listSessionFiles(basePath_).segments) {
+    if (seg.seq >= floor || seg.seq == seq_) continue;
+    std::error_code ec;
+    if (std::filesystem::remove(seg.path, ec) && !ec) ++segmentsCompacted_;
+  }
 }
 
 }  // namespace adpm::service

@@ -35,14 +35,30 @@
 // corrupt record, keeps the intact prefix, and reports what was dropped —
 // the crash-recovery mode (a killed process legitimately leaves a torn
 // tail, and refusing the whole log would lose the session entirely).
+//
+// Bounded recovery (segments + checkpoints): a session's log is a *chain*
+// of segment files — seq 0 at `<id>.wal` (byte-compatible with the legacy
+// single-file layout), seq N at `<id>.wal.<N>` — each opened by a header
+// whose optional "seq"/"stage" members place it in the chain (stage = ops
+// applied in earlier segments).  A durable checkpoint `<id>.ckpt.<N>`
+// serializes the manager's full mutable state + the snapshot digest,
+// installed via write-temp/fsync/rename so it is atomically present or
+// absent; recovery loads the newest intact checkpoint and replays only the
+// tail segments, and a compactor deletes segments every retained
+// checkpoint has superseded.  Checkpoints are an optimization, never a
+// correctness dependency: any damage degrades to an older checkpoint or a
+// full-segment replay.
 #pragma once
 
 #include <cstddef>
 #include <cstdio>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "dpm/operation.hpp"
+#include "util/json.hpp"
 
 namespace adpm::service {
 
@@ -93,8 +109,12 @@ class OperationLog {
 
   /// Appends the session header.  Call exactly once, before any operation,
   /// on a fresh log; recovered sessions keep appending to the old file and
-  /// must not re-write the header.
-  void appendOpen(const SessionConfig& config);
+  /// must not re-write the header.  `seq` numbers this file in the session's
+  /// segment chain and `startStage` is the count of operations living in
+  /// earlier segments; both are written only when nonzero, so a seq-0 log is
+  /// byte-identical to the pre-segmentation format.
+  void appendOpen(const SessionConfig& config, std::size_t seq = 0,
+                  std::size_t startStage = 0);
   void appendOperation(const dpm::Operation& op);
   void appendMark(std::size_t stage, const std::string& digest);
 
@@ -117,8 +137,15 @@ class OperationLog {
     SessionConfig config;
     std::vector<dpm::Operation> operations;
     /// Marks in file order; mark.stage == number of operations applied when
-    /// the digest was taken.
+    /// the digest was taken (global across segments).
     std::vector<Mark> marks;
+
+    /// Position of this file in its session's segment chain (0 for the
+    /// legacy single-file layout).
+    std::size_t segmentSeq = 0;
+    /// Operations applied in earlier segments; this file's operation i has
+    /// global index segmentStartStage + i + 1.
+    std::size_t segmentStartStage = 0;
 
     /// Byte offset just past the header record.
     std::size_t headerEndOffset = 0;
@@ -157,6 +184,175 @@ class OperationLog {
   /// Set when a failed append could not be rolled back: the file may end in
   /// a torn record, so further appends would interleave garbage.
   bool poisoned_ = false;
+};
+
+// -- segment / checkpoint file layout -----------------------------------------
+
+/// Path of segment `seq` for the session whose seq-0 log is `basePath`
+/// (`<dir>/<id>.wal`): `basePath` itself for seq 0, `basePath.<seq>` after.
+std::string segmentPath(const std::string& basePath, std::size_t seq);
+
+/// Path of checkpoint `seq`: `<dir>/<id>.ckpt.<seq>` next to the basePath.
+std::string checkpointPath(const std::string& basePath, std::size_t seq);
+
+/// Classifies a WAL-directory filename.  Session ids may contain dots, so
+/// the suffix is matched anchored at the end of the name.
+struct WalFileName {
+  std::string sessionId;
+  bool isCheckpoint = false;
+  std::size_t seq = 0;
+};
+/// Recognizes `<id>.wal`, `<id>.wal.<N>`, and `<id>.ckpt.<N>`; nullopt for
+/// anything else (including `*.tmp` staging files).
+std::optional<WalFileName> parseWalFileName(const std::string& filename);
+
+struct SegmentRef {
+  std::size_t seq = 0;
+  std::string path;
+};
+
+/// Everything on disk belonging to one session, both ascending by seq.
+struct SessionFiles {
+  std::vector<SegmentRef> segments;
+  std::vector<SegmentRef> checkpoints;
+};
+/// Scans basePath's directory for the session's segments and checkpoints.
+SessionFiles listSessionFiles(const std::string& basePath);
+
+/// One durable state snapshot: everything recovery needs to skip replaying
+/// the log prefix the checkpoint covers.  Stored as a single crc-guarded
+/// canonical-JSON line, installed atomically (write temp, fsync, rename).
+struct Checkpoint {
+  static constexpr int kVersion = 1;
+  /// Self-contained like the log header: id, λ, scenario DDDL.
+  SessionConfig config;
+  /// Checkpoint sequence number (monotonic per session).
+  std::size_t seq = 0;
+  /// Operations applied when the snapshot was taken.
+  std::size_t stage = 0;
+  /// Segment where tail replay resumes (its startStage == this->stage when
+  /// written by SegmentedLog, which rotates before checkpointing).
+  std::size_t walSeq = 0;
+  /// dpm::managerStateToJson payload.
+  util::json::Value state;
+  /// fnv1a-64 of the canonical snapshot text at `stage`; recovery verifies
+  /// the restored manager against it before trusting the checkpoint.
+  std::string digest;
+};
+
+/// Writes `ckpt` to checkpointPath(basePath, ckpt.seq) via temp + rename.
+/// `sync` fsyncs the temp file before the rename and the parent directory
+/// after it (same discipline as OperationLog's create path).  Failpoints:
+/// `ckpt.write` (temp write), `ckpt.rename` (install).  Throws
+/// TransientError on a cleanly-undone failure; the previous checkpoint is
+/// never touched.
+void writeCheckpoint(const std::string& basePath, const Checkpoint& ckpt,
+                     bool sync);
+
+/// Reads and fully validates one checkpoint file; *any* damage (missing,
+/// torn, bit-flipped, bad crc, malformed) throws adpm::Error — the caller
+/// falls back to an older checkpoint or full replay, never limps on a
+/// partially-trusted snapshot.
+Checkpoint readCheckpoint(const std::string& path);
+
+/// A session's append-side log chain: owns the currently-open segment,
+/// rotates it when it exceeds the configured size, writes checkpoints, and
+/// compacts segments every retained checkpoint has superseded.  Like
+/// OperationLog it is pure state — the session's strand serializes access.
+class SegmentedLog {
+ public:
+  struct Options {
+    bool sync = false;
+    /// Rotate when the current segment reaches this size (0 = never).
+    std::size_t segmentBytes = 0;
+    /// Rotate when the current segment holds this many operations (0 =
+    /// never).  Rotation is checked before each append, so a segment holds
+    /// at most `segmentOps` operations.
+    std::size_t segmentOps = 0;
+  };
+
+  /// Fresh session: creates segment 0 at `basePath` and writes its header.
+  SegmentedLog(std::string basePath, SessionConfig config, Options options);
+
+  /// Recovery attach: continue an existing chain without re-writing headers.
+  struct AttachSpec {
+    /// Segment to keep appending to.
+    std::size_t walSeq = 0;
+    /// Operations living in segments before walSeq.
+    std::size_t opsBefore = 0;
+    /// Operations already in the walSeq segment.
+    std::size_t opsInSegment = 0;
+    /// Open a *new* segment `walSeq` (header written, startStage below)
+    /// instead of appending to an existing one — used when the recovered
+    /// stage came from a checkpoint ahead of every surviving segment, so op
+    /// positions on disk stay aligned with global indices.
+    bool startFresh = false;
+    std::size_t startStage = 0;
+    /// Sequence the next checkpoint gets.
+    std::size_t nextCheckpointSeq = 1;
+    /// Surviving checkpoints (ascending seq) for compaction accounting.
+    std::vector<Checkpoint> checkpoints;
+  };
+  SegmentedLog(std::string basePath, SessionConfig config, Options options,
+               const AttachSpec& attach);
+
+  const std::string& basePath() const noexcept { return basePath_; }
+  /// Sequence of the currently-open segment.
+  std::size_t segmentSeq() const noexcept { return seq_; }
+  /// Operations across the whole chain (== the session's stage).
+  std::size_t stage() const noexcept { return startStage_ + opsInSegment_; }
+  /// The currently-open segment (for tests and accounting).
+  const OperationLog& current() const noexcept { return *current_; }
+
+  /// Appends one operation, rotating to a fresh segment first when the
+  /// current one is full.  A failed rotation (failpoint `wal.rotate`, or
+  /// the new segment's header append failing) leaves the current segment
+  /// untouched and throws TransientError — the append never happened.
+  void appendOperation(const dpm::Operation& op);
+  void appendMark(std::size_t stage, const std::string& digest);
+
+  /// Writes checkpoint (`state`, `stage`, `digest`), then compacts to the
+  /// newest `keep` checkpoints (see compact()).  Rotates first whenever the
+  /// current segment holds operations, so the checkpoint's walSeq names a
+  /// segment starting exactly at `stage` and tail replay touches no record
+  /// the checkpoint already covers.  Throws TransientError when the write
+  /// could not install (previous checkpoints and all segments intact).
+  void writeCheckpoint(util::json::Value state, std::size_t stage,
+                       const std::string& digest, std::size_t keep);
+
+  /// Deletes all but the newest `keep` checkpoints (at least 1 is kept:
+  /// keeping a runner-up means a corrupt newest checkpoint still recovers
+  /// boundedly) and every segment strictly older than the oldest retained
+  /// checkpoint's walSeq — but segments are only deleted once the full
+  /// complement of `keep` checkpoints is durable, so until then a corrupt
+  /// checkpoint can always degrade to a full replay from segment 0.
+  /// Deletion failures degrade silently — a leftover file costs disk,
+  /// never correctness.  Failpoint: `wal.compact`.
+  void compact(std::size_t keep);
+
+  // -- accounting (monotonic, for benches/CLI reports) ------------------------
+  std::size_t rotations() const noexcept { return rotations_; }
+  std::size_t checkpointsWritten() const noexcept { return checkpointsWritten_; }
+  std::size_t segmentsCompacted() const noexcept { return segmentsCompacted_; }
+  std::size_t checkpointCount() const noexcept { return checkpoints_.size(); }
+
+ private:
+  void rotate();
+
+  std::string basePath_;
+  SessionConfig config_;
+  Options options_;
+  std::unique_ptr<OperationLog> current_;
+  std::size_t seq_ = 0;
+  /// Operations in segments before the current one.
+  std::size_t startStage_ = 0;
+  std::size_t opsInSegment_ = 0;
+  std::size_t nextCheckpointSeq_ = 1;
+  /// Known durable checkpoints, ascending seq: (seq, walSeq).
+  std::vector<std::pair<std::size_t, std::size_t>> checkpoints_;
+  std::size_t rotations_ = 0;
+  std::size_t checkpointsWritten_ = 0;
+  std::size_t segmentsCompacted_ = 0;
 };
 
 }  // namespace adpm::service

@@ -10,10 +10,12 @@
 // and recovers the log it left behind.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +29,7 @@
 #endif
 
 #include "dddl/parser.hpp"
+#include "dddl/writer.hpp"
 #include "scenarios/sensing.hpp"
 #include "service/load.hpp"
 #include "service/session.hpp"
@@ -356,6 +359,320 @@ TEST_F(CrashTortureTest, ForkedProcessAbortedMidAppendLeavesRecoverableLog) {
 }
 #else
 TEST_F(CrashTortureTest, ForkedProcessAbortedMidAppendLeavesRecoverableLog) {
+  GTEST_SKIP() << "needs -DADPM_FAULT_INJECTION=ON and fork()";
+}
+#endif
+
+// -- multi-segment chains -----------------------------------------------------
+//
+// The same torture, applied to a rotated + checkpointed chain: cuts at every
+// record boundary of every surviving segment, bit flips in segments *and*
+// checkpoint files, and fork/abort inside rotation and checkpoint install.
+// The oracle is unchanged — whatever recovery keeps must be bit-identical to
+// a clean replay of that prefix — plus one new clause: with an intact newest
+// checkpoint, recovery never keeps less than the checkpoint's stage.
+
+/// Deterministic synthetic op stream (applySynthesis accepts any in-range
+/// property rebind, so this is a legal transcript of arbitrary length).
+dpm::Operation chainOp(std::size_t i, std::size_t propertyCount) {
+  dpm::Operation op;
+  op.kind = dpm::OperatorKind::Synthesis;
+  op.problem = dpm::ProblemId{0};
+  op.designer = "gen";
+  op.assignments.emplace_back(
+      constraint::PropertyId{static_cast<std::uint32_t>(i % propertyCount)},
+      0.25 + 0.125 * static_cast<double>(i % 7));
+  return op;
+}
+
+Session::Options chainOptions() {
+  Session::Options o;
+  o.markEvery = 2;
+  o.segmentOps = 4;
+  o.checkpointEvery = 8;
+  o.checkpointKeep = 2;
+  return o;
+}
+
+class ChainTortureTest : public CrashTortureTest {
+ protected:
+  static constexpr std::size_t kOps = 18;
+  /// Stage of the newest checkpoint the recording leaves on disk.
+  static constexpr std::size_t kCkptStage = 16;
+
+  /// Sets up config/spec/op-stream without touching the disk (the fork
+  /// drivers record in a child process instead).
+  void prepareChain(bool adpm) {
+    spec_ = scenarios::sensingSystemScenario();
+    config_ = SessionConfig{};
+    config_.id = "chain";
+    config_.adpm = adpm;
+    config_.scenarioName = spec_.name;
+    config_.scenarioDddl = dddl::write(spec_);
+    ops_.clear();
+    for (std::size_t i = 0; i < kOps; ++i) {
+      ops_.push_back(chainOp(i, spec_.properties.size()));
+    }
+  }
+
+  /// Records the 18-op chained session.  With segments of 4 ops, a
+  /// checkpoint every 8, and keep=2, the disk afterwards holds segments
+  /// 2 (ops 9..12), 3 (13..16), 4 (17..18) — 0 and 1 were compacted away —
+  /// plus checkpoints 1 (stage 8) and 2 (stage 16).
+  void recordChain(bool adpm) {
+    prepareChain(adpm);
+    srcDir_ = dir_ / (adpm ? "src-t" : "src-f");
+    fs::create_directories(srcDir_);
+    SegmentedLog::Options lo;
+    lo.segmentOps = 4;
+    auto log = std::make_unique<SegmentedLog>((srcDir_ / "chain.wal").string(),
+                                              config_, lo);
+    Session session(config_, spec_, std::move(log), chainOptions());
+    for (const dpm::Operation& op : ops_) session.apply(dpm::Operation(op));
+  }
+
+  /// Fresh copy of the recording (Salvage recovery mutates the files).
+  std::string scratchChain() {
+    const fs::path scratch = dir_ / "scratch";
+    fs::remove_all(scratch);
+    fs::create_directories(scratch);
+    for (const fs::directory_entry& e : fs::directory_iterator(srcDir_)) {
+      fs::copy_file(e.path(), scratch / e.path().filename());
+    }
+    return (scratch / "chain.wal").string();
+  }
+
+  SessionSnapshot chainCleanReplay(std::size_t k) const {
+    Session session(config_, spec_, nullptr);
+    for (std::size_t i = 0; i < k; ++i) {
+      session.replayApply(dpm::Operation(ops_[i]));
+    }
+    return session.snapshot();
+  }
+
+  void expectChainSalvage(const std::string& base, std::size_t expectKept,
+                          SalvageOutcome* outcomeOut = nullptr) {
+    SalvageOutcome outcome;
+    const auto recovered =
+        recoverSession(base, chainOptions(), RecoveryPolicy::Salvage, &outcome);
+    EXPECT_EQ(outcome.keptStage, expectKept);
+    const SessionSnapshot got = recovered->snapshot();
+    const SessionSnapshot want = chainCleanReplay(outcome.keptStage);
+    EXPECT_EQ(got.stage, want.stage);
+    EXPECT_EQ(got.text, want.text);
+    EXPECT_EQ(got.digest, want.digest);
+    if (outcomeOut != nullptr) *outcomeOut = outcome;
+  }
+
+  void sweepChainBoundaries(bool adpm) {
+    recordChain(adpm);
+    const SessionFiles files =
+        listSessionFiles((srcDir_ / "chain.wal").string());
+    ASSERT_EQ(files.segments.size(), 3u);
+    ASSERT_EQ(files.checkpoints.size(), 2u);
+
+    std::size_t swept = 0;
+    for (const SegmentRef& ref : files.segments) {
+      const OperationLog::Replay replay = OperationLog::read(ref.path);
+      const std::string content = slurp(ref.path);
+      for (const std::size_t b : boundaries(content)) {
+        if (b < replay.headerEndOffset) continue;
+        SCOPED_TRACE("segment " + std::to_string(ref.seq) +
+                     " cut at record boundary " + std::to_string(b));
+        const std::string base = scratchChain();
+        spit(segmentPath(base, ref.seq), content.substr(0, b));
+
+        // A cut that keeps every op of the segment (it only loses a
+        // trailing mark, or nothing) leaves the chain continuous: all later
+        // segments still apply.  A shorter cut breaks the chain there; the
+        // newest intact checkpoint still recovers through stage 16, so
+        // whichever reaches further wins.
+        const std::size_t stageAtCut =
+            replay.segmentStartStage + opsWithin(replay, b);
+        const std::size_t expect =
+            opsWithin(replay, b) == replay.operations.size()
+                ? kOps
+                : std::max(kCkptStage, stageAtCut);
+        expectChainSalvage(base, expect);
+        ++swept;
+      }
+    }
+    EXPECT_GT(swept, 12u);
+  }
+
+  fs::path srcDir_;
+  dpm::ScenarioSpec spec_;
+  SessionConfig config_;
+  std::vector<dpm::Operation> ops_;
+};
+
+TEST_F(ChainTortureTest, BoundaryCutsInEverySegmentRecoverAdpmFlow) {
+  sweepChainBoundaries(/*adpm=*/true);
+}
+
+TEST_F(ChainTortureTest, BoundaryCutsInEverySegmentRecoverConventional) {
+  sweepChainBoundaries(/*adpm=*/false);
+}
+
+TEST_F(ChainTortureTest, SegmentBitFlipsNeverLoseCheckpointedPrefix) {
+  recordChain(/*adpm=*/true);
+  const SessionFiles files = listSessionFiles((srcDir_ / "chain.wal").string());
+
+  std::size_t swept = 0;
+  for (const SegmentRef& ref : files.segments) {
+    const OperationLog::Replay replay = OperationLog::read(ref.path);
+    const std::string content = slurp(ref.path);
+    for (std::size_t at = replay.headerEndOffset; at < content.size();
+         at += 13) {
+      SCOPED_TRACE("segment " + std::to_string(ref.seq) + " flipped byte " +
+                   std::to_string(at));
+      const std::string base = scratchChain();
+      std::string damaged = content;
+      damaged[at] = static_cast<char>(damaged[at] ^ 0x01);
+      spit(segmentPath(base, ref.seq), damaged);
+
+      SalvageOutcome outcome;
+      const auto recovered =
+          recoverSession(base, chainOptions(), RecoveryPolicy::Salvage,
+                         &outcome);
+      // Both checkpoints are intact, so no segment flip can push recovery
+      // below the newest checkpoint's stage — and whatever is kept must be
+      // a clean prefix, bit for bit.
+      EXPECT_GE(outcome.keptStage, kCkptStage);
+      const SessionSnapshot got = recovered->snapshot();
+      const SessionSnapshot want = chainCleanReplay(outcome.keptStage);
+      EXPECT_EQ(got.text, want.text);
+      EXPECT_EQ(got.digest, want.digest);
+      ++swept;
+    }
+  }
+  EXPECT_GT(swept, 10u);
+}
+
+TEST_F(ChainTortureTest, CheckpointBitFlipsDegradeWithoutDataLoss) {
+  recordChain(/*adpm=*/true);
+  const SessionFiles files = listSessionFiles((srcDir_ / "chain.wal").string());
+  ASSERT_EQ(files.checkpoints.size(), 2u);
+
+  std::size_t swept = 0;
+  for (const SegmentRef& ref : files.checkpoints) {
+    const std::string content = slurp(ref.path);
+    // Checkpoint files embed the full manager state, so they are orders of
+    // magnitude larger than a WAL record: scale the stride to sweep ~40
+    // positions per file instead of thousands.
+    const std::size_t stride = std::max<std::size_t>(11, content.size() / 40);
+    for (std::size_t at = 0; at < content.size(); at += stride) {
+      SCOPED_TRACE("checkpoint " + std::to_string(ref.seq) +
+                   " flipped byte " + std::to_string(at));
+      const std::string base = scratchChain();
+      std::string damaged = content;
+      damaged[at] = static_cast<char>(damaged[at] ^ 0x01);
+      spit(checkpointPath(base, ref.seq), damaged);
+
+      // The surviving segments cover stages 8..18 and the *other*
+      // checkpoint is intact, so every flip — wherever it lands — must
+      // recover the full 18-op history: via the undamaged checkpoint plus
+      // tail replay, or via the damaged-but-benign record itself.
+      expectChainSalvage(base, kOps);
+      ++swept;
+    }
+  }
+  EXPECT_GT(swept, 10u);
+}
+
+#if defined(ADPM_FAULT_INJECTION) && ADPM_FAULT_INJECTION && ADPM_TORTURE_FORK
+/// Child driver for the fork tests: runs the 18-op chained session with one
+/// failpoint armed to Abort, dying mid-structure exactly where the plan says.
+[[noreturn]] void runChainChildAndDie(const fs::path& walDir,
+                                      const char* failpoint, unsigned nth) {
+  util::FaultPlan plan;
+  plan.action = util::FaultAction::Abort;
+  plan.everyNth = nth;
+  util::FaultRegistry::instance().arm(failpoint, plan);
+
+  const dpm::ScenarioSpec spec = scenarios::sensingSystemScenario();
+  SessionConfig cfg;
+  cfg.id = "chain";
+  cfg.adpm = true;
+  cfg.scenarioName = spec.name;
+  cfg.scenarioDddl = dddl::write(spec);
+  SegmentedLog::Options lo;
+  lo.segmentOps = 4;
+  auto log = std::make_unique<SegmentedLog>((walDir / "chain.wal").string(),
+                                            cfg, lo);
+  Session session(cfg, spec, std::move(log), chainOptions());
+  for (std::size_t i = 0; i < 18; ++i) {
+    session.apply(chainOp(i, spec.properties.size()));
+  }
+  ::_exit(0);  // unreachable when the failpoint fires
+}
+
+TEST_F(ChainTortureTest, ForkedProcessAbortedInsideRotationRecoversCleanly) {
+  prepareChain(/*adpm=*/true);
+  const fs::path walDir = dir_ / "rot";
+  fs::create_directories(walDir);
+  const std::string base = (walDir / "chain.wal").string();
+
+  const pid_t pid = ::fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    // Rotation #1 happens appending op 5; #2 is the stage-8 checkpoint's
+    // rotate-before-write — the child dies there, before the new segment
+    // or any checkpoint file exists.
+    runChainChildAndDie(walDir, "wal.rotate", /*nth=*/2);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited instead of aborting";
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  // Death inside rotate() leaves the chain ending exactly at a segment
+  // boundary: segments 0 and 1 complete, nothing else.
+  EXPECT_TRUE(fs::exists(segmentPath(base, 1)));
+  EXPECT_FALSE(fs::exists(segmentPath(base, 2)));
+  EXPECT_FALSE(fs::exists(checkpointPath(base, 1)));
+
+  SalvageOutcome outcome;
+  expectChainSalvage(base, 8, &outcome);
+  EXPECT_FALSE(outcome.checkpointUsed);
+  EXPECT_EQ(outcome.droppedOperations, 0u);  // abort-before-write is clean
+}
+
+TEST_F(ChainTortureTest, ForkedProcessAbortedInstallingCheckpointRecovers) {
+  prepareChain(/*adpm=*/true);
+  const fs::path walDir = dir_ / "inst";
+  fs::create_directories(walDir);
+  const std::string base = (walDir / "chain.wal").string();
+
+  const pid_t pid = ::fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    // The stage-8 checkpoint rotates to segment 2, writes + fsyncs the temp
+    // file, then dies at the install failpoint: the temp is durable litter,
+    // the checkpoint was never installed.
+    runChainChildAndDie(walDir, "ckpt.rename", /*nth=*/1);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited instead of aborting";
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  // The torn install left a *.tmp recovery must ignore, and no checkpoint.
+  EXPECT_TRUE(fs::exists(checkpointPath(base, 1) + ".tmp"));
+  EXPECT_FALSE(fs::exists(checkpointPath(base, 1)));
+  EXPECT_TRUE(
+      listSessionFiles(base).checkpoints.empty());
+
+  SalvageOutcome outcome;
+  expectChainSalvage(base, 8, &outcome);
+  EXPECT_FALSE(outcome.checkpointUsed);
+  EXPECT_EQ(outcome.checkpointFallbacks, 0u);  // *.tmp is not a checkpoint
+}
+#else
+TEST_F(ChainTortureTest, ForkedProcessAbortedInsideRotationRecoversCleanly) {
+  GTEST_SKIP() << "needs -DADPM_FAULT_INJECTION=ON and fork()";
+}
+TEST_F(ChainTortureTest, ForkedProcessAbortedInstallingCheckpointRecovers) {
   GTEST_SKIP() << "needs -DADPM_FAULT_INJECTION=ON and fork()";
 }
 #endif

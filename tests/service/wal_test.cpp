@@ -270,5 +270,178 @@ TEST_F(WalTest, TailOffsetTracksDurableBytes) {
   EXPECT_EQ(log.tailOffset(), fs::file_size(p));
 }
 
+// -- segments + checkpoints ---------------------------------------------------
+
+TEST_F(WalTest, SegmentAndCheckpointFilenamesRoundTrip) {
+  EXPECT_EQ(segmentPath("/w/s1.wal", 0), "/w/s1.wal");
+  EXPECT_EQ(segmentPath("/w/s1.wal", 3), "/w/s1.wal.3");
+  EXPECT_EQ(checkpointPath("/w/s1.wal", 2), "/w/s1.ckpt.2");
+
+  // Ids may contain dots: the suffix match is anchored at the end.
+  const auto seg0 = parseWalFileName("a.b.wal");
+  ASSERT_TRUE(seg0.has_value());
+  EXPECT_EQ(seg0->sessionId, "a.b");
+  EXPECT_FALSE(seg0->isCheckpoint);
+  EXPECT_EQ(seg0->seq, 0u);
+
+  const auto segN = parseWalFileName("a.b.wal.7");
+  ASSERT_TRUE(segN.has_value());
+  EXPECT_EQ(segN->sessionId, "a.b");
+  EXPECT_FALSE(segN->isCheckpoint);
+  EXPECT_EQ(segN->seq, 7u);
+
+  const auto ck = parseWalFileName("a.b.ckpt.2");
+  ASSERT_TRUE(ck.has_value());
+  EXPECT_EQ(ck->sessionId, "a.b");
+  EXPECT_TRUE(ck->isCheckpoint);
+  EXPECT_EQ(ck->seq, 2u);
+
+  EXPECT_FALSE(parseWalFileName("a.b.wal.3.tmp").has_value());  // staging
+  EXPECT_FALSE(parseWalFileName("a.b.wal.0").has_value());  // seq 0 = ".wal"
+  EXPECT_FALSE(parseWalFileName("a.b.wal.x3").has_value());
+  EXPECT_FALSE(parseWalFileName("notes.txt").has_value());
+  EXPECT_FALSE(parseWalFileName(".wal").has_value());  // empty id
+}
+
+TEST_F(WalTest, SegmentedLogRotatesByOpCountWithChainedHeaders) {
+  const std::string base = path("rot.wal");
+  SegmentedLog::Options o;
+  o.segmentOps = 2;
+  SegmentedLog log(base, config(), o);
+  for (int i = 0; i < 5; ++i) log.appendOperation(op("ana", 1.0 + i));
+  EXPECT_EQ(log.stage(), 5u);
+  EXPECT_EQ(log.segmentSeq(), 2u);
+  EXPECT_EQ(log.rotations(), 2u);
+
+  const SessionFiles files = listSessionFiles(base);
+  ASSERT_EQ(files.segments.size(), 3u);
+  EXPECT_TRUE(files.checkpoints.empty());
+
+  // Each header places its file in the chain (seq + start stage), and the
+  // seq-0 header stays byte-identical to the pre-segmentation format (no
+  // "seq"/"stage" members when both are zero).
+  const OperationLog::Replay r0 = OperationLog::read(segmentPath(base, 0));
+  EXPECT_EQ(r0.segmentSeq, 0u);
+  EXPECT_EQ(r0.segmentStartStage, 0u);
+  EXPECT_EQ(r0.operations.size(), 2u);
+  const OperationLog::Replay r2 = OperationLog::read(segmentPath(base, 2));
+  EXPECT_EQ(r2.segmentSeq, 2u);
+  EXPECT_EQ(r2.segmentStartStage, 4u);
+  EXPECT_EQ(r2.operations.size(), 1u);
+
+  std::ifstream in(segmentPath(base, 0));
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header.find("\"seq\""), std::string::npos);
+  EXPECT_EQ(header.find("\"stage\""), std::string::npos);
+}
+
+TEST_F(WalTest, CheckpointRoundTripsAndAnyDamageThrows) {
+  const std::string base = path("ck.wal");
+  { OperationLog log(base); log.appendOpen(config()); }  // anchor the dir
+  Checkpoint ck;
+  ck.config = config();
+  ck.seq = 2;
+  ck.stage = 16;
+  ck.walSeq = 3;
+  ck.state = util::json::parse(R"({"stage":16,"evals":40})");
+  ck.digest = "00000000deadbeef";
+  writeCheckpoint(base, ck, /*sync=*/false);
+
+  const std::string ckPath = checkpointPath(base, 2);
+  const Checkpoint back = readCheckpoint(ckPath);
+  EXPECT_EQ(back.config.id, "s1");
+  EXPECT_EQ(back.config.scenarioDddl, "object sys {}\n");
+  EXPECT_EQ(back.seq, 2u);
+  EXPECT_EQ(back.stage, 16u);
+  EXPECT_EQ(back.walSeq, 3u);
+  EXPECT_EQ(back.digest, "00000000deadbeef");
+  EXPECT_EQ(back.state.at("evals").asNumber(), 40.0);
+
+  // The installed file is a single crc-guarded line: any bit flip or torn
+  // tail must throw (the caller then degrades to an older checkpoint).
+  std::ifstream in(ckPath, std::ios::binary);
+  const std::string content{std::istreambuf_iterator<char>(in), {}};
+  for (std::size_t at = 0; at < content.size(); at += 7) {
+    std::string damaged = content;
+    damaged[at] = static_cast<char>(damaged[at] ^ 0x04);
+    {
+      std::ofstream out(ckPath, std::ios::binary | std::ios::trunc);
+      out << damaged;
+    }
+    EXPECT_THROW(readCheckpoint(ckPath), adpm::Error)
+        << "flip at byte " << at;
+  }
+  {
+    std::ofstream out(ckPath, std::ios::binary | std::ios::trunc);
+    out << content.substr(0, content.size() / 2);
+  }
+  EXPECT_THROW(readCheckpoint(ckPath), adpm::Error);
+  EXPECT_THROW(readCheckpoint(checkpointPath(base, 9)), adpm::Error);
+}
+
+TEST_F(WalTest, WriteCheckpointRotatesAndCompactionKeepsTheFallbackChain) {
+  const std::string base = path("cmp.wal");
+  SegmentedLog::Options o;
+  o.segmentOps = 100;  // rotation driven by checkpoints only
+  SegmentedLog log(base, config(), o);
+  const util::json::Value state = util::json::parse(R"({"s":1})");
+
+  auto ckptAt = [&](std::size_t stage, std::size_t keep) {
+    log.writeCheckpoint(util::json::Value(state), stage, "0000000000000000",
+                        keep);
+  };
+
+  for (int i = 0; i < 4; ++i) log.appendOperation(op("ana", 1.0 + i));
+  ckptAt(4, /*keep=*/2);
+  // The checkpoint rotated first, so its walSeq segment starts at stage 4
+  // — but with only one checkpoint durable, no segment is deleted yet: a
+  // corrupt checkpoint must still degrade to a full replay from seq 0.
+  EXPECT_EQ(log.segmentSeq(), 1u);
+  EXPECT_EQ(log.checkpointCount(), 1u);
+  EXPECT_EQ(log.segmentsCompacted(), 0u);
+  EXPECT_TRUE(fs::exists(segmentPath(base, 0)));
+
+  for (int i = 0; i < 4; ++i) log.appendOperation(op("ben", 2.0 + i));
+  ckptAt(8, /*keep=*/2);
+  // Two checkpoints durable: segments older than the *oldest* retained
+  // checkpoint's walSeq (seg 0 < walSeq 1) are superseded and deleted.
+  EXPECT_EQ(log.checkpointCount(), 2u);
+  EXPECT_EQ(log.segmentsCompacted(), 1u);
+  EXPECT_FALSE(fs::exists(segmentPath(base, 0)));
+  EXPECT_TRUE(fs::exists(segmentPath(base, 1)));
+
+  for (int i = 0; i < 4; ++i) log.appendOperation(op("cyd", 3.0 + i));
+  ckptAt(12, /*keep=*/2);
+  // Checkpoint 1 trimmed (keep=2) and segment 1 superseded.
+  EXPECT_EQ(log.checkpointCount(), 2u);
+  EXPECT_FALSE(fs::exists(checkpointPath(base, 1)));
+  EXPECT_TRUE(fs::exists(checkpointPath(base, 2)));
+  EXPECT_TRUE(fs::exists(checkpointPath(base, 3)));
+  EXPECT_FALSE(fs::exists(segmentPath(base, 1)));
+  EXPECT_TRUE(fs::exists(segmentPath(base, 2)));
+  EXPECT_EQ(log.stage(), 12u);
+
+  const SessionFiles files = listSessionFiles(base);
+  ASSERT_EQ(files.segments.size(), 2u);  // walSeq 2 + current (3)
+  ASSERT_EQ(files.checkpoints.size(), 2u);
+  EXPECT_EQ(files.checkpoints.front().seq, 2u);
+  EXPECT_EQ(files.checkpoints.back().seq, 3u);
+}
+
+TEST_F(WalTest, SegmentedLogRotatesByBytes) {
+  const std::string base = path("bytes.wal");
+  SegmentedLog::Options o;
+  o.segmentBytes = 1;  // every append lands in a fresh segment
+  SegmentedLog log(base, config(), o);
+  log.appendOperation(op("ana", 1.0));
+  log.appendOperation(op("ana", 2.0));
+  log.appendOperation(op("ana", 3.0));
+  // The first op stays in seg 0 (a segment never rotates while empty).
+  EXPECT_EQ(log.rotations(), 2u);
+  EXPECT_EQ(log.segmentSeq(), 2u);
+  EXPECT_EQ(log.stage(), 3u);
+}
+
 }  // namespace
 }  // namespace adpm::service
